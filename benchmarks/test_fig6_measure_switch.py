@@ -1,0 +1,76 @@
+"""Figure 6 — time to switch the RIN graph measure.
+
+Panels (a)/(b): NetworKit compute time per measure at cut-offs 3.0 Å and
+10.0 Å on A3D-0 / 2JOF-0 / NTL9-0. Panel (c): total client-perceived
+update time.
+
+Shape assertions (DESIGN.md §4): Degree is the cheapest centrality,
+Betweenness the most expensive; total ≫ server compute for cheap measures
+(the paper's ~10× gap); all three RINs stay interactive.
+"""
+
+import pytest
+
+from repro.bench import PAPER_HIGH_CUTOFF, PAPER_LOW_CUTOFF, PAPER_PROTEINS
+from repro.rin import PAPER_MEASURES
+
+CUTOFFS = (PAPER_LOW_CUTOFF, PAPER_HIGH_CUTOFF)
+
+
+@pytest.mark.parametrize("protein", PAPER_PROTEINS)
+@pytest.mark.parametrize("cutoff", CUTOFFS)
+@pytest.mark.parametrize("measure", PAPER_MEASURES)
+def test_measure_switch(benchmark, pipelines, protein, cutoff, measure):
+    pipeline = pipelines(protein, cutoff)
+    pipeline.switch_measure(measure)  # warm
+
+    def switch():
+        return pipeline.switch_measure(measure)
+
+    timing = benchmark(switch)
+    assert timing.measure_ms >= 0
+    assert timing.total_ms > timing.server_ms  # client share exists
+
+
+@pytest.mark.parametrize("protein", PAPER_PROTEINS)
+def test_shape_degree_cheapest_betweenness_priciest(pipelines, protein):
+    """Figure 6a/b ordering: Degree ≪ Betweenness on every RIN."""
+    pipeline = pipelines(protein, PAPER_HIGH_CUTOFF)
+    degree = min(
+        pipeline.switch_measure("Degree Centrality").measure_ms
+        for _ in range(3)
+    )
+    betweenness = min(
+        pipeline.switch_measure("Betweenness Centrality").measure_ms
+        for _ in range(3)
+    )
+    assert degree < betweenness
+
+
+@pytest.mark.parametrize("protein", PAPER_PROTEINS)
+def test_shape_total_dominated_by_client_for_cheap_measures(
+    pipelines, protein
+):
+    """Figure 6c: the full update cycle is ~10× the server compute for
+    cheap measures — most time is DOM updates."""
+    pipeline = pipelines(protein, PAPER_LOW_CUTOFF)
+    timing = min(
+        (pipeline.switch_measure("Degree Centrality") for _ in range(3)),
+        key=lambda t: t.total_ms,
+    )
+    assert timing.total_ms >= 5 * timing.measure_ms
+
+
+def test_shape_more_edges_not_cheaper(pipelines):
+    """Higher cut-off (more edges) must not make measures faster overall."""
+    low = pipelines("A3D", PAPER_LOW_CUTOFF)
+    high = pipelines("A3D", PAPER_HIGH_CUTOFF)
+    t_low = min(
+        low.switch_measure("Closeness Centrality").measure_ms
+        for _ in range(3)
+    )
+    t_high = min(
+        high.switch_measure("Closeness Centrality").measure_ms
+        for _ in range(3)
+    )
+    assert t_high >= 0.5 * t_low  # allow noise; must not be dramatically cheaper

@@ -1,0 +1,61 @@
+"""Figure 7 — time to switch the cut-off distance.
+
+Panel (d): NetworKit edge update (sub-millisecond-ish). Panel (e):
+Maxent-Stress layout generation (dominates). Panel (f): total update.
+
+Shape assertions: edge updates are orders of magnitude cheaper than the
+layout; totals grow with the cut-off (more edges); the layout is the
+dominant server-side cost — exactly the paper's decomposition.
+"""
+
+import pytest
+
+from repro.bench import PAPER_PROTEINS
+
+CUTOFFS = (3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0)
+
+
+@pytest.mark.parametrize("protein", PAPER_PROTEINS)
+@pytest.mark.parametrize("cutoff", (3.0, 10.0))
+def test_cutoff_switch(benchmark, pipelines, protein, cutoff):
+    pipeline = pipelines(protein, 6.0)
+    other = 5.0 if cutoff != 5.0 else 5.5
+    state = {"flip": False}
+
+    def switch():
+        # Alternate target so every call performs a real diff.
+        state["flip"] = not state["flip"]
+        return pipeline.switch_cutoff(cutoff if state["flip"] else other)
+
+    timing = benchmark(switch)
+    assert timing.edges_changed > 0
+
+
+@pytest.mark.parametrize("protein", PAPER_PROTEINS)
+def test_shape_edge_update_much_cheaper_than_layout(pipelines, protein):
+    """Figure 7d vs 7e: layout generation dominates the switch."""
+    pipeline = pipelines(protein, 3.0)
+    edge_ms, layout_ms = [], []
+    for cutoff in CUTOFFS[1:]:
+        t = pipeline.switch_cutoff(cutoff)
+        edge_ms.append(t.edge_update_ms)
+        layout_ms.append(t.layout_ms)
+    assert sum(layout_ms) > 5 * sum(edge_ms)
+
+
+def test_shape_edge_update_scales_with_diff_size(pipelines):
+    """Bigger cut-off jumps touch more edges and cost more to diff."""
+    pipeline = pipelines("A3D", 3.0)
+    small = pipeline.switch_cutoff(3.5)
+    pipeline.switch_cutoff(3.0)
+    big = pipeline.switch_cutoff(10.0)
+    assert big.edges_changed > small.edges_changed
+
+
+@pytest.mark.parametrize("protein", PAPER_PROTEINS)
+def test_shape_total_adds_client_share(pipelines, protein):
+    """Figure 7f: the total adds a client share on top of the server."""
+    pipeline = pipelines(protein, 4.0)
+    t = pipeline.switch_cutoff(9.0)
+    assert t.total_ms > t.server_ms
+    assert t.client_ms > 10.0  # non-trivial DOM work

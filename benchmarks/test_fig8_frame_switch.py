@@ -1,0 +1,68 @@
+"""Figure 8 — time to switch the trajectory frame.
+
+Panels (g)/(h): NetworKit update time (edge diff + layout) at cut-offs
+3.0 Å / 10.0 Å. Panel (i): total update as perceived by the client.
+
+Shape assertions: frame switches cost at least as much as cut-off
+switches overall (full node+edge DOM update vs edge-only); cost grows
+with the cut-off; the worst case is a frame switch with an expensive
+measure selected ("total loop time of up to approx. 600 ms" in the
+paper).
+"""
+
+import pytest
+
+from repro.bench import PAPER_HIGH_CUTOFF, PAPER_LOW_CUTOFF, PAPER_PROTEINS
+
+
+@pytest.mark.parametrize("protein", PAPER_PROTEINS)
+@pytest.mark.parametrize("cutoff", (PAPER_LOW_CUTOFF, PAPER_HIGH_CUTOFF))
+def test_frame_switch(benchmark, pipelines, protein, cutoff):
+    pipeline = pipelines(protein, cutoff)
+    state = {"frame": 0}
+
+    def switch():
+        state["frame"] = (state["frame"] + 1) % pipeline.rin.trajectory.n_frames
+        return pipeline.switch_frame(state["frame"])
+
+    timing = benchmark(switch)
+    assert timing.total_ms > 0
+
+
+@pytest.mark.parametrize("protein", PAPER_PROTEINS)
+def test_shape_frame_switch_clients_exceed_cutoff_switch(pipelines, protein):
+    """Fig. 8 vs Fig. 7: the frame switch's client share is larger —
+    every DOM element updates, not just edges."""
+    pipeline = pipelines(protein, PAPER_HIGH_CUTOFF)
+    t_cut = pipeline.switch_cutoff(9.0)
+    pipeline.switch_cutoff(PAPER_HIGH_CUTOFF)
+    t_frame = pipeline.switch_frame(
+        (pipeline.rin.frame + 1) % pipeline.rin.trajectory.n_frames
+    )
+    assert t_frame.client_ms > t_cut.client_ms
+
+
+def test_shape_high_cutoff_costs_more(pipelines):
+    """Fig. 8g vs 8h: more edges → costlier frame switches."""
+    low = pipelines("A3D", PAPER_LOW_CUTOFF)
+    high = pipelines("A3D", PAPER_HIGH_CUTOFF)
+    t_low = min(
+        low.switch_frame((low.rin.frame + 1) % 24).client_ms for _ in range(3)
+    )
+    t_high = min(
+        high.switch_frame((high.rin.frame + 1) % 24).client_ms
+        for _ in range(3)
+    )
+    assert t_high > t_low
+
+
+def test_shape_worst_case_is_frame_plus_measure(pipelines):
+    """Paper: the maximum update time occurs on a frame change with a
+    network measure selected — all update functions run subsequently."""
+    pipeline = pipelines("A3D", PAPER_HIGH_CUTOFF, "Betweenness Centrality")
+    t_measure = pipeline.switch_measure("Betweenness Centrality")
+    t_frame = pipeline.switch_frame(
+        (pipeline.rin.frame + 1) % pipeline.rin.trajectory.n_frames
+    )
+    assert t_frame.total_ms > t_measure.total_ms
+    assert t_frame.measure_ms > 0  # measure recomputed as part of the loop

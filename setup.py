@@ -1,0 +1,7 @@
+"""Setup shim: lets `pip install -e .` use the legacy editable path on
+environments without the `wheel` package (metadata lives in pyproject.toml).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""repro — reproduction of *Interactive Visualization of Protein RINs using
+NetworKit in the Cloud* (Angriman et al., IPDPSW 2022, arXiv:2203.01263).
+
+Layers (bottom-up):
+
+* :mod:`repro.graphkit` — NetworKit-analog network analysis substrate.
+* :mod:`repro.md` — synthetic protein structures + MD trajectory simulator.
+* :mod:`repro.rin` — residue interaction network construction & measures.
+* :mod:`repro.vizbridge` — plotly-compatible headless figure model.
+* :mod:`repro.core` — the paper's contribution: the interactive RIN widget.
+* :mod:`repro.cloud` — Kubernetes/JupyterHub deployment simulator.
+* :mod:`repro.embeddings` — node2vec (paper §VII future-work feature).
+* :mod:`repro.bench` — harness regenerating every figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "graphkit",
+    "md",
+    "rin",
+    "vizbridge",
+    "core",
+    "cloud",
+    "embeddings",
+    "bench",
+]

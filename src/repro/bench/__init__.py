@@ -1,0 +1,64 @@
+"""repro.bench — harness regenerating every table/figure of the paper.
+
+One runner per figure (:mod:`~repro.bench.figures`), deterministic
+workload construction (:mod:`~repro.bench.workloads`) and text reporting
+(:mod:`~repro.bench.reporting`). The ``benchmarks/`` pytest-benchmark
+suites wrap these runners; ``python -m repro.bench`` prints all tables.
+"""
+
+from .figures import (
+    CloudResult,
+    Fig3Result,
+    Fig4Result,
+    Fig6Result,
+    Fig7Result,
+    Fig8Result,
+    run_cloud_stability,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+)
+from .reporting import format_paper_comparison, format_table
+from .verdicts import Verdict, run_verdicts, verdict_table
+from .workloads import (
+    FIG4_GRAPH_SIZE,
+    PAPER_HIGH_CUTOFF,
+    PAPER_LOW_CUTOFF,
+    PAPER_PROTEINS,
+    fig4_graph,
+    layout_scale_graph,
+    make_pipeline,
+    protein_trajectory,
+)
+
+__all__ = [
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_cloud_stability",
+    "Fig3Result",
+    "Fig4Result",
+    "Fig6Result",
+    "Fig7Result",
+    "Fig8Result",
+    "CloudResult",
+    "format_table",
+    "format_paper_comparison",
+    "Verdict",
+    "run_verdicts",
+    "verdict_table",
+    "PAPER_PROTEINS",
+    "PAPER_LOW_CUTOFF",
+    "PAPER_HIGH_CUTOFF",
+    "FIG4_GRAPH_SIZE",
+    "protein_trajectory",
+    "make_pipeline",
+    "fig4_graph",
+    "layout_scale_graph",
+]

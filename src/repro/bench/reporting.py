@@ -1,0 +1,43 @@
+"""Text reporting for benchmark results (paper-style rows)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_paper_comparison"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], *, title: str = ""
+) -> str:
+    """Render a fixed-width text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_paper_comparison(
+    label: str,
+    measured: float,
+    paper: float | None,
+    *,
+    unit: str = "ms",
+) -> str:
+    """One 'measured vs paper' line for EXPERIMENTS.md-style output."""
+    if paper is None:
+        return f"{label}: measured {measured:.2f} {unit} (no paper reference)"
+    ratio = measured / paper if paper else float("inf")
+    return (
+        f"{label}: measured {measured:.2f} {unit} | paper {paper:.2f} {unit} "
+        f"| ratio {ratio:.2f}x"
+    )

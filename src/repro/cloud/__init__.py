@@ -1,0 +1,82 @@
+"""repro.cloud — discrete-event simulator of the paper's §III deployment.
+
+The Figure 1 HA Kubernetes cluster (masters/workers/service/gateway
+nodes), the Figure 2 service definition (namespace, JupyterHub deployment
+with NativeAuthenticator + KubeSpawner, service + route, PV/PVC, secret,
+RBAC'd service account), a two-tier source-balanced reverse proxy, and
+cloud user sessions running the RIN widget on their pods.
+"""
+
+from .cluster import Cluster, ClusterEvent, Node, NodeRole, build_paper_cluster
+from .gateway import (
+    AclAction,
+    AclRule,
+    EgressDenied,
+    EgressRecord,
+    Gateway,
+    default_research_acl,
+)
+from .jupyterhub import HubConfig, JupyterHub, KubeSpawner, NativeAuthenticator
+from .metrics import ClusterMetrics, NodeUtilization, snapshot
+from .objects import (
+    Deployment,
+    ForbiddenError,
+    Namespace,
+    PersistentVolume,
+    PersistentVolumeClaim,
+    Pod,
+    PodPhase,
+    RBACRule,
+    Route,
+    Secret,
+    Service,
+    ServiceAccount,
+)
+from .proxy import RoutedRequest, RoutingError, ServiceProxy
+from .resources import PAPER_CONTROL_NODE, PAPER_INSTANCE_LIMIT, Resources
+from .scheduler import Scheduler
+from .session import CloudSession, SessionRequest
+from .simclock import SimClock
+
+__all__ = [
+    "SimClock",
+    "Resources",
+    "PAPER_INSTANCE_LIMIT",
+    "PAPER_CONTROL_NODE",
+    "Cluster",
+    "ClusterEvent",
+    "Node",
+    "NodeRole",
+    "build_paper_cluster",
+    "Scheduler",
+    "Pod",
+    "PodPhase",
+    "Deployment",
+    "Service",
+    "Route",
+    "PersistentVolume",
+    "PersistentVolumeClaim",
+    "Secret",
+    "ServiceAccount",
+    "RBACRule",
+    "Namespace",
+    "ForbiddenError",
+    "ServiceProxy",
+    "RoutedRequest",
+    "RoutingError",
+    "JupyterHub",
+    "HubConfig",
+    "KubeSpawner",
+    "NativeAuthenticator",
+    "CloudSession",
+    "SessionRequest",
+    "ClusterMetrics",
+    "NodeUtilization",
+    "snapshot",
+    "Gateway",
+    "AclRule",
+    "AclAction",
+    "EgressRecord",
+    "EgressDenied",
+    "default_research_acl",
+]

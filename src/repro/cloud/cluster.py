@@ -1,0 +1,331 @@
+"""The HA Kubernetes cluster of paper Figure 1.
+
+Three master nodes (etcd + control plane), 1-X worker nodes
+(computational resources), a service node (reverse proxy, DNS, API
+endpoint, load balancer) and a gateway node (DHCP, firewall, outbound) —
+assembled exactly as §III-A describes, with an API server facade that
+enforces RBAC and drives the scheduler + pod lifecycle on a shared
+:class:`~repro.cloud.simclock.SimClock`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable
+
+from .objects import (
+    Deployment,
+    ForbiddenError,
+    Namespace,
+    PersistentVolume,
+    PersistentVolumeClaim,
+    Pod,
+    PodPhase,
+    Route,
+    Secret,
+    Service,
+    ServiceAccount,
+)
+from .resources import PAPER_CONTROL_NODE, Resources
+from .scheduler import Scheduler
+from .simclock import SimClock
+
+__all__ = ["NodeRole", "Node", "Cluster", "ClusterEvent", "build_paper_cluster"]
+
+
+class NodeRole(Enum):
+    """Node roles of Figure 1."""
+
+    MASTER = "master"
+    WORKER = "worker"
+    SERVICE = "service"
+    GATEWAY = "gateway"
+
+
+@dataclass
+class Node:
+    """One cluster machine."""
+
+    name: str
+    role: NodeRole
+    capacity: Resources
+    ready: bool = True
+    allocated: Resources = field(default_factory=lambda: Resources(0, 0))
+
+    @property
+    def free(self) -> Resources:
+        """Unallocated capacity."""
+        return self.capacity - self.allocated
+
+    def can_fit(self, request: Resources) -> bool:
+        """Whether a request fits the remaining capacity."""
+        return self.ready and request.fits_in(self.free)
+
+
+@dataclass(frozen=True)
+class ClusterEvent:
+    """Kubernetes-style event record."""
+
+    time: float
+    kind: str  # 'Scheduled', 'Started', 'Failed', 'Killing', ...
+    object_ref: str
+    message: str
+
+
+class Cluster:
+    """API-server facade over nodes, namespaces, PVs and the scheduler."""
+
+    def __init__(
+        self,
+        nodes: Iterable[Node],
+        *,
+        clock: SimClock | None = None,
+        pod_startup_seconds: float = 18.0,
+    ):
+        self.clock = clock or SimClock()
+        self.nodes: dict[str, Node] = {}
+        for node in nodes:
+            if node.name in self.nodes:
+                raise ValueError(f"duplicate node name {node.name!r}")
+            self.nodes[node.name] = node
+        self.namespaces: dict[str, Namespace] = {}
+        self.volumes: dict[str, PersistentVolume] = {}
+        self.events: list[ClusterEvent] = []
+        self.scheduler = Scheduler(self)
+        self.pod_startup_seconds = float(pod_startup_seconds)
+
+    # ------------------------------------------------------------------
+    # control plane health
+    # ------------------------------------------------------------------
+    def masters(self) -> list[Node]:
+        """The control-plane nodes."""
+        return [n for n in self.nodes.values() if n.role is NodeRole.MASTER]
+
+    def workers(self) -> list[Node]:
+        """The computational nodes."""
+        return [n for n in self.nodes.values() if n.role is NodeRole.WORKER]
+
+    def control_plane_available(self) -> bool:
+        """etcd quorum: majority of masters must be ready (HA property)."""
+        masters = self.masters()
+        if not masters:
+            return False
+        ready = sum(1 for m in masters if m.ready)
+        return ready > len(masters) // 2
+
+    def _require_control_plane(self) -> None:
+        if not self.control_plane_available():
+            raise RuntimeError("control plane unavailable (no etcd quorum)")
+
+    def fail_node(self, name: str) -> None:
+        """Take a node down; its pods fail and get rescheduled."""
+        node = self.nodes[name]
+        node.ready = False
+        self._record("NodeNotReady", name, "node marked not ready")
+        for ns in self.namespaces.values():
+            for pod in list(ns.pods.values()):
+                if pod.node == name and pod.phase is PodPhase.RUNNING:
+                    pod.phase = PodPhase.PENDING
+                    pod.node = None
+                    self._record(
+                        "Rescheduling", f"{ns.name}/{pod.name}",
+                        "host node failed",
+                    )
+        node.allocated = Resources(0, 0)
+        if self.control_plane_available():
+            self.scheduler.reconcile()
+
+    def recover_node(self, name: str) -> None:
+        """Bring a node back; pending pods get another chance."""
+        self.nodes[name].ready = True
+        self._record("NodeReady", name, "node recovered")
+        if self.control_plane_available():
+            self.scheduler.reconcile()
+
+    # ------------------------------------------------------------------
+    # namespaced objects
+    # ------------------------------------------------------------------
+    def create_namespace(self, name: str) -> Namespace:
+        """Create a namespace (isolation boundary of §III-B)."""
+        self._require_control_plane()
+        if name in self.namespaces:
+            raise ValueError(f"namespace {name!r} already exists")
+        ns = Namespace(name)
+        self.namespaces[name] = ns
+        self._record("NamespaceCreated", name, "namespace created")
+        return ns
+
+    def namespace(self, name: str) -> Namespace:
+        """Look up a namespace."""
+        try:
+            return self.namespaces[name]
+        except KeyError:
+            raise KeyError(f"namespace {name!r} not found") from None
+
+    def create_service_account(
+        self, namespace: str, account: ServiceAccount
+    ) -> ServiceAccount:
+        """Register a service account."""
+        self._require_control_plane()
+        self.namespace(namespace).service_accounts[account.name] = account
+        return account
+
+    def create_secret(self, secret: Secret) -> Secret:
+        """Register a secret."""
+        self._require_control_plane()
+        self.namespace(secret.namespace).secrets[secret.name] = secret
+        return secret
+
+    def create_volume(self, volume: PersistentVolume) -> PersistentVolume:
+        """Register a PV (cluster-scoped)."""
+        self._require_control_plane()
+        if volume.name in self.volumes:
+            raise ValueError(f"volume {volume.name!r} already exists")
+        self.volumes[volume.name] = volume
+        return volume
+
+    def bind_claim(self, claim: PersistentVolumeClaim) -> PersistentVolume:
+        """Bind a claim to the first unbound PV with enough capacity."""
+        self._require_control_plane()
+        for volume in self.volumes.values():
+            if volume.bound_claim is None and (
+                claim.request_mib <= volume.capacity_mib
+            ):
+                volume.bound_claim = f"{claim.namespace}/{claim.name}"
+                claim.volume_name = volume.name
+                self.namespace(claim.namespace).claims[claim.name] = claim
+                return volume
+        raise RuntimeError(
+            f"no unbound volume with >= {claim.request_mib} MiB available"
+        )
+
+    def create_service(self, service: Service) -> Service:
+        """Register a ClusterIP service."""
+        self._require_control_plane()
+        self.namespace(service.namespace).services[service.name] = service
+        return service
+
+    def create_route(self, route: Route) -> Route:
+        """Register an ingress/route."""
+        self._require_control_plane()
+        ns = self.namespace(route.namespace)
+        if route.service_name not in ns.services:
+            raise ValueError(
+                f"route {route.name!r}: service {route.service_name!r} "
+                f"not found in namespace {route.namespace!r}"
+            )
+        ns.routes[route.name] = route
+        return route
+
+    # ------------------------------------------------------------------
+    # pods
+    # ------------------------------------------------------------------
+    def create_pod(
+        self, pod: Pod, *, actor: ServiceAccount | None = None
+    ) -> Pod:
+        """Submit a pod; RBAC-checked when an actor is given.
+
+        The pod is Pending until the scheduler places it and the startup
+        delay elapses (the on-demand spawn latency users see).
+        """
+        self._require_control_plane()
+        if actor is not None:
+            actor.check("pods", "create")
+            if actor.namespace != pod.namespace:
+                raise ForbiddenError(
+                    f"serviceaccount {actor.namespace}/{actor.name} cannot "
+                    f"create pods in namespace {pod.namespace!r}"
+                )
+        ns = self.namespace(pod.namespace)
+        if pod.name in ns.pods:
+            raise ValueError(f"pod {pod.namespace}/{pod.name} already exists")
+        ns.pods[pod.name] = pod
+        self._record("PodCreated", f"{pod.namespace}/{pod.name}", "created")
+        self.scheduler.reconcile()
+        return pod
+
+    def delete_pod(
+        self, namespace: str, name: str, *, actor: ServiceAccount | None = None
+    ) -> None:
+        """Delete a pod, releasing its node allocation."""
+        self._require_control_plane()
+        if actor is not None:
+            actor.check("pods", "delete")
+            if actor.namespace != namespace:
+                raise ForbiddenError(
+                    f"cross-namespace delete denied for {actor.name}"
+                )
+        ns = self.namespace(namespace)
+        pod = ns.pods.pop(name, None)
+        if pod is None:
+            raise KeyError(f"pod {namespace}/{name} not found")
+        if pod.node is not None and pod.node in self.nodes:
+            self.nodes[pod.node].allocated = (
+                self.nodes[pod.node].allocated - pod.requests
+            )
+        self._record("Killing", f"{namespace}/{name}", "pod deleted")
+        self.scheduler.reconcile()
+
+    def list_pods(
+        self, namespace: str, *, actor: ServiceAccount | None = None
+    ) -> list[Pod]:
+        """List pods in a namespace (RBAC 'list' when actor given)."""
+        if actor is not None:
+            actor.check("pods", "list")
+        return list(self.namespace(namespace).pods.values())
+
+    def deploy(self, deployment: Deployment) -> list[Pod]:
+        """Create a deployment and its replica pods."""
+        self._require_control_plane()
+        ns = self.namespace(deployment.namespace)
+        ns.deployments[deployment.name] = deployment
+        pods = []
+        for i in range(deployment.replicas):
+            pods.append(self.create_pod(deployment.pod_template(i)))
+        return pods
+
+    def pods_for_service(self, service: Service) -> list[Pod]:
+        """Running endpoint pods behind a service."""
+        ns = self.namespace(service.namespace)
+        return [p for p in ns.pods.values() if service.matches(p) and p.running]
+
+    # ------------------------------------------------------------------
+    def _record(self, kind: str, ref: str, message: str) -> None:
+        self.events.append(ClusterEvent(self.clock.now, kind, ref, message))
+
+    def events_for(
+        self, ref_prefix: str, *, actor: ServiceAccount | None = None
+    ) -> list[ClusterEvent]:
+        """Events for objects under a prefix (RBAC 'events get')."""
+        if actor is not None:
+            actor.check("events", "get")
+        return [e for e in self.events if e.object_ref.startswith(ref_prefix)]
+
+
+def build_paper_cluster(
+    *,
+    workers: int = 2,
+    worker_resources: Resources | None = None,
+    clock: SimClock | None = None,
+) -> Cluster:
+    """Assemble the exact Figure 1 topology.
+
+    Three masters + ``workers`` worker nodes + service node + gateway.
+    Default worker sizing comfortably hosts the paper's benchmark pods
+    (10 vCores / 16 GB each).
+    """
+    if workers < 1:
+        raise ValueError("need at least one worker node")
+    worker_resources = worker_resources or Resources.cores(32, 64)
+    nodes = [
+        Node(f"master-{i}", NodeRole.MASTER, PAPER_CONTROL_NODE)
+        for i in range(3)
+    ]
+    nodes += [
+        Node(f"worker-{i}", NodeRole.WORKER, worker_resources)
+        for i in range(workers)
+    ]
+    nodes.append(Node("service-0", NodeRole.SERVICE, PAPER_CONTROL_NODE))
+    nodes.append(Node("gateway-0", NodeRole.GATEWAY, Resources.cores(2, 4)))
+    return Cluster(nodes, clock=clock)

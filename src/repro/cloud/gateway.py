@@ -1,0 +1,133 @@
+"""Gateway node: outbound traffic, ACL firewall, monitoring (paper §III-A).
+
+"The gateway node handles the reverse route from within the cluster to
+WAN, equipped with an additional ACL-based firewall and filter mechanism
+to monitor traffic."
+
+:class:`Gateway` evaluates egress requests against ordered ACL rules
+(first match wins, default deny or allow configurable) and keeps a
+traffic log for monitoring.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from enum import Enum
+
+from .cluster import Cluster, NodeRole
+
+__all__ = ["AclAction", "AclRule", "EgressRecord", "Gateway", "EgressDenied"]
+
+
+class EgressDenied(PermissionError):
+    """Outbound request blocked by the firewall."""
+
+
+class AclAction(Enum):
+    """Firewall rule outcomes."""
+
+    ALLOW = "allow"
+    DENY = "deny"
+
+
+@dataclass(frozen=True)
+class AclRule:
+    """One ordered ACL entry: glob patterns on destination host + port."""
+
+    action: AclAction
+    host_pattern: str = "*"
+    port: int | None = None  # None matches any port
+    comment: str = ""
+
+    def matches(self, host: str, port: int) -> bool:
+        if self.port is not None and self.port != port:
+            return False
+        return fnmatch.fnmatch(host, self.host_pattern)
+
+
+@dataclass(frozen=True)
+class EgressRecord:
+    """One monitored outbound request."""
+
+    time: float
+    source_pod: str
+    host: str
+    port: int
+    allowed: bool
+    rule_comment: str
+
+
+class Gateway:
+    """The cluster's egress point with an ordered-ACL firewall."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        rules: list[AclRule] | None = None,
+        default_allow: bool = False,
+    ):
+        self._cluster = cluster
+        self.rules: list[AclRule] = list(rules or [])
+        self.default_allow = bool(default_allow)
+        self.log: list[EgressRecord] = []
+
+    # ------------------------------------------------------------------
+    def _gateway_ready(self) -> bool:
+        return any(
+            n.role is NodeRole.GATEWAY and n.ready
+            for n in self._cluster.nodes.values()
+        )
+
+    def add_rule(self, rule: AclRule, *, prepend: bool = False) -> None:
+        """Install an ACL rule (ordered; first match wins)."""
+        if prepend:
+            self.rules.insert(0, rule)
+        else:
+            self.rules.append(rule)
+
+    def evaluate(self, host: str, port: int) -> tuple[bool, str]:
+        """Resolve (allowed, matched-rule comment) for a destination."""
+        for rule in self.rules:
+            if rule.matches(host, port):
+                return rule.action is AclAction.ALLOW, rule.comment
+        return self.default_allow, "<default>"
+
+    def egress(self, source_pod: str, host: str, port: int = 443) -> EgressRecord:
+        """Route one outbound request; raises :class:`EgressDenied` when
+        the firewall blocks it. Every attempt is logged (monitoring)."""
+        if not self._gateway_ready():
+            raise RuntimeError("gateway node down: no outbound route")
+        allowed, comment = self.evaluate(host, port)
+        record = EgressRecord(
+            time=self._cluster.clock.now,
+            source_pod=source_pod,
+            host=host,
+            port=port,
+            allowed=allowed,
+            rule_comment=comment,
+        )
+        self.log.append(record)
+        if not allowed:
+            raise EgressDenied(
+                f"egress to {host}:{port} denied for {source_pod} "
+                f"(rule: {comment or 'default deny'})"
+            )
+        return record
+
+    def denied_attempts(self) -> list[EgressRecord]:
+        """Blocked outbound requests (the monitoring view)."""
+        return [r for r in self.log if not r.allowed]
+
+
+def default_research_acl() -> list[AclRule]:
+    """A sensible campus-cluster policy: package mirrors + data portals
+    allowed, everything else denied."""
+    return [
+        AclRule(AclAction.ALLOW, "*.pypi.org", None, "package index"),
+        AclRule(AclAction.ALLOW, "conda.anaconda.org", None, "conda channel"),
+        AclRule(AclAction.ALLOW, "*.rcsb.org", 443, "PDB structures"),
+        AclRule(AclAction.ALLOW, "*.uniprot.org", 443, "sequence data"),
+        AclRule(AclAction.DENY, "*", None, "default deny"),
+    ]

@@ -1,0 +1,267 @@
+"""JupyterHub deployment + KubeSpawner (paper §III-B, Figure 2).
+
+Builds the full service definition the paper describes: the
+``RIN-exploration`` namespace containing the JupyterHub deployment (with
+NativeAuthenticator + KubeSpawner plugins), a hub service + route, a
+persistent volume holding ``jupyterhub_config.py`` and the user database,
+a pull-secret vault, and a service account allowed to view events and
+create/list/delete pods. ``spawn()`` starts one user pod per
+authenticated user — from *inside* the hub pod via its service account,
+exactly the flow the paper highlights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cluster import Cluster
+from .objects import (
+    Deployment,
+    PersistentVolume,
+    PersistentVolumeClaim,
+    Pod,
+    RBACRule,
+    Route,
+    Secret,
+    Service,
+    ServiceAccount,
+)
+from .resources import PAPER_INSTANCE_LIMIT, Resources
+
+__all__ = ["HubConfig", "NativeAuthenticator", "KubeSpawner", "JupyterHub"]
+
+
+@dataclass
+class HubConfig:
+    """Contents of ``jupyterhub_config.py`` (image, limits, secrets)."""
+
+    user_image: str = "networkit/rin-explorer:latest"
+    instance_limit: Resources = field(
+        default_factory=lambda: PAPER_INSTANCE_LIMIT
+    )
+    instance_request: Resources = field(
+        default_factory=lambda: Resources.cores(2, 4)
+    )
+    pull_secret: str = "hub-secret-vault"
+    service_path: str = "/service-path"
+    host: str = "nwk-service.domain.com"
+
+
+class NativeAuthenticator:
+    """Username/password store (the paper's authenticator plugin)."""
+
+    def __init__(self):
+        self._users: dict[str, str] = {}
+
+    def register(self, username: str, password: str) -> None:
+        """Add a user account."""
+        if not username or not password:
+            raise ValueError("username and password must be non-empty")
+        if username in self._users:
+            raise ValueError(f"user {username!r} already registered")
+        self._users[username] = password
+
+    def authenticate(self, username: str, password: str) -> bool:
+        """Validate credentials."""
+        return self._users.get(username) == password
+
+    @property
+    def users(self) -> list[str]:
+        """Registered usernames."""
+        return list(self._users)
+
+
+class KubeSpawner:
+    """Spawns per-user notebook pods through the hub's service account."""
+
+    def __init__(self, cluster: Cluster, namespace: str, config: HubConfig,
+                 service_account: ServiceAccount):
+        self._cluster = cluster
+        self._namespace = namespace
+        self._config = config
+        self._sa = service_account
+
+    def pod_name(self, username: str) -> str:
+        return f"jupyter-{username}"
+
+    def spawn(self, username: str) -> Pod:
+        """Create the user's notebook pod (RBAC enforced via the SA)."""
+        pod = Pod(
+            name=self.pod_name(username),
+            namespace=self._namespace,
+            image=self._config.user_image,
+            requests=self._config.instance_request,
+            limits=self._config.instance_limit,
+            labels={"app": "jupyter-user", "user": username},
+            service_account=None,
+        )
+        return self._cluster.create_pod(pod, actor=self._sa)
+
+    def stop(self, username: str) -> None:
+        """Delete the user's pod."""
+        self._cluster.delete_pod(
+            self._namespace, self.pod_name(username), actor=self._sa
+        )
+
+    def user_pods(self) -> list[Pod]:
+        """All spawned user pods (RBAC 'list')."""
+        return [
+            p
+            for p in self._cluster.list_pods(self._namespace, actor=self._sa)
+            if p.labels.get("app") == "jupyter-user"
+        ]
+
+
+class JupyterHub:
+    """The hub application: authenticator + spawner + proxied sessions.
+
+    §III-B: "another namespace with its own JupyterHub instance can be
+    created" — pass a distinct ``namespace`` (and a distinct route path
+    via ``config.service_path``) to run several hubs side by side.
+    """
+
+    NAMESPACE = "rin-exploration"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        config: HubConfig | None = None,
+        namespace: str | None = None,
+    ):
+        self._cluster = cluster
+        self.config = config or HubConfig()
+        self.namespace_name = namespace or self.NAMESPACE
+        self.authenticator = NativeAuthenticator()
+        self._active: dict[str, Pod] = {}
+        self._deploy()
+
+    @property
+    def volume_name(self) -> str:
+        """Per-hub PV name (PVs are cluster-scoped, so namespace-prefixed)."""
+        return f"hub-volume-{self.namespace_name}"
+
+    # ------------------------------------------------------------------
+    def _deploy(self) -> None:
+        """Create every Figure 2 entity."""
+        cluster = self._cluster
+        ns = cluster.create_namespace(self.namespace_name)
+
+        self.service_account = cluster.create_service_account(
+            self.namespace_name,
+            ServiceAccount(
+                "hub-account",
+                self.namespace_name,
+                rules=[
+                    RBACRule.of("events", "get", "list", "watch"),
+                    RBACRule.of("pods", "create", "list", "delete", "get"),
+                ],
+            ),
+        )
+        cluster.create_secret(
+            Secret(
+                self.config.pull_secret,
+                self.namespace_name,
+                data={"pull-secret": "registry-token"},
+            )
+        )
+        cluster.create_volume(
+            PersistentVolume(self.volume_name, capacity_mib=2048)
+        )
+        cluster.bind_claim(
+            PersistentVolumeClaim("hub-volume-claim", self.namespace_name, 1024)
+        )
+        volume = cluster.volumes[self.volume_name]
+        volume.data["jupyterhub_config.py"] = {
+            "image": self.config.user_image,
+            "cpu_limit_milli": self.config.instance_limit.cpu_milli,
+            "mem_limit_mib": self.config.instance_limit.memory_mib,
+            "pull_secret": self.config.pull_secret,
+        }
+        volume.data["user_db"] = {}
+
+        hub_deployment = Deployment(
+            name="networkit-hub",
+            namespace=self.namespace_name,
+            image="jupyterhub/jupyterhub:customized",
+            replicas=1,
+            requests=Resources.cores(1, 2),
+            limits=Resources.cores(2, 4),
+            labels={"app": "jupyterhub"},
+            service_account="hub-account",
+        )
+        self.hub_pods = cluster.deploy(hub_deployment)
+        cluster.create_service(
+            Service(
+                "hub-service",
+                self.namespace_name,
+                selector={"app": "jupyterhub"},
+                port=8000,
+            )
+        )
+        cluster.create_route(
+            Route(
+                "hub-route",
+                self.namespace_name,
+                host=self.config.host,
+                path=self.config.service_path,
+                service_name="hub-service",
+            )
+        )
+        self.spawner = KubeSpawner(
+            cluster, self.namespace_name, self.config, self.service_account
+        )
+        # user session services get per-user routes on login
+        self._ns = ns
+
+    # ------------------------------------------------------------------
+    def register_user(self, username: str, password: str) -> None:
+        """Add a user to the authenticator + persisted user DB."""
+        self.authenticator.register(username, password)
+        self._cluster.volumes[self.volume_name].data["user_db"][username] = {
+            "registered_at": self._cluster.clock.now
+        }
+
+    def login(self, username: str, password: str) -> Pod:
+        """Authenticate and spawn (or reuse) the user's notebook pod."""
+        if not self.authenticator.authenticate(username, password):
+            raise PermissionError(f"authentication failed for {username!r}")
+        if username in self._active:
+            return self._active[username]
+        pod = self.spawner.spawn(username)
+        self._active[username] = pod
+        # Per-user service + route (prefix routing to the user pod).
+        self._cluster.create_service(
+            Service(
+                f"user-{username}",
+                self.namespace_name,
+                selector={"app": "jupyter-user", "user": username},
+                port=8888,
+            )
+        )
+        self._cluster.create_route(
+            Route(
+                f"user-{username}",
+                self.namespace_name,
+                host=self.config.host,
+                path=f"{self.config.service_path}/user/{username}",
+                service_name=f"user-{username}",
+            )
+        )
+        return pod
+
+    def logout(self, username: str) -> None:
+        """Stop the user's pod and drop the session."""
+        if username not in self._active:
+            raise KeyError(f"no active session for {username!r}")
+        self.spawner.stop(username)
+        del self._active[username]
+
+    @property
+    def active_users(self) -> list[str]:
+        """Users with live pods."""
+        return list(self._active)
+
+    def user_pod(self, username: str) -> Pod:
+        """The user's notebook pod."""
+        return self._active[username]

@@ -1,0 +1,110 @@
+"""Cluster utilization metrics (the monitoring view operators need).
+
+The paper's scaling advice (§III-A: "Worker nodes should always scale
+with the desired use case ... memory to manage data structures and web
+frontends is the most important requirement, followed by CPU cores")
+presumes visibility into utilization — this module provides the snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cluster import Cluster, NodeRole
+from .objects import PodPhase
+
+__all__ = ["NodeUtilization", "ClusterMetrics", "snapshot"]
+
+
+@dataclass(frozen=True)
+class NodeUtilization:
+    """One node's allocation state."""
+
+    name: str
+    role: str
+    ready: bool
+    cpu_allocated_milli: int
+    cpu_capacity_milli: int
+    memory_allocated_mib: int
+    memory_capacity_mib: int
+    pod_count: int
+
+    @property
+    def cpu_fraction(self) -> float:
+        """Allocated / capacity CPU (0 when capacity is 0)."""
+        if self.cpu_capacity_milli == 0:
+            return 0.0
+        return self.cpu_allocated_milli / self.cpu_capacity_milli
+
+    @property
+    def memory_fraction(self) -> float:
+        """Allocated / capacity memory."""
+        if self.memory_capacity_mib == 0:
+            return 0.0
+        return self.memory_allocated_mib / self.memory_capacity_mib
+
+
+@dataclass(frozen=True)
+class ClusterMetrics:
+    """A point-in-time view of the whole cluster."""
+
+    time: float
+    nodes: tuple[NodeUtilization, ...]
+    pods_running: int
+    pods_pending: int
+    pods_total: int
+    control_plane_available: bool
+
+    def workers(self) -> list[NodeUtilization]:
+        """Utilization of the worker nodes only."""
+        return [n for n in self.nodes if n.role == NodeRole.WORKER.value]
+
+    def worst_cpu_fraction(self) -> float:
+        """Highest worker CPU allocation fraction (the saturation signal)."""
+        workers = self.workers()
+        return max((n.cpu_fraction for n in workers), default=0.0)
+
+    def has_capacity_for(self, cpu_milli: int, memory_mib: int) -> bool:
+        """Would one more pod of this size fit anywhere right now?"""
+        return any(
+            n.ready
+            and n.cpu_capacity_milli - n.cpu_allocated_milli >= cpu_milli
+            and n.memory_capacity_mib - n.memory_allocated_mib >= memory_mib
+            for n in self.workers()
+        )
+
+
+def snapshot(cluster: Cluster) -> ClusterMetrics:
+    """Capture current utilization across nodes and pods."""
+    pod_counts: dict[str, int] = {}
+    running = pending = total = 0
+    for ns in cluster.namespaces.values():
+        for pod in ns.pods.values():
+            total += 1
+            if pod.phase is PodPhase.RUNNING:
+                running += 1
+            elif pod.phase is PodPhase.PENDING:
+                pending += 1
+            if pod.node:
+                pod_counts[pod.node] = pod_counts.get(pod.node, 0) + 1
+    nodes = tuple(
+        NodeUtilization(
+            name=node.name,
+            role=node.role.value,
+            ready=node.ready,
+            cpu_allocated_milli=node.allocated.cpu_milli,
+            cpu_capacity_milli=node.capacity.cpu_milli,
+            memory_allocated_mib=node.allocated.memory_mib,
+            memory_capacity_mib=node.capacity.memory_mib,
+            pod_count=pod_counts.get(node.name, 0),
+        )
+        for node in cluster.nodes.values()
+    )
+    return ClusterMetrics(
+        time=cluster.clock.now,
+        nodes=nodes,
+        pods_running=running,
+        pods_pending=pending,
+        pods_total=total,
+        control_plane_available=cluster.control_plane_available(),
+    )

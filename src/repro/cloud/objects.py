@@ -1,0 +1,254 @@
+"""Kubernetes API objects (the entities of paper Figure 2).
+
+Namespace, Pod, Deployment, Service (ClusterIP), Route (ingress),
+PersistentVolume + Claim, Secret, ServiceAccount with RBAC rules — the
+exact inventory the paper's service definition creates for the
+JupyterHub deployment.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from .resources import Resources
+
+__all__ = [
+    "PodPhase",
+    "Pod",
+    "Deployment",
+    "Service",
+    "Route",
+    "PersistentVolume",
+    "PersistentVolumeClaim",
+    "Secret",
+    "RBACRule",
+    "ServiceAccount",
+    "Namespace",
+    "ForbiddenError",
+]
+
+_uid = itertools.count(1)
+
+
+class ForbiddenError(PermissionError):
+    """RBAC denial (403)."""
+
+
+class PodPhase(Enum):
+    """Pod lifecycle phases (Kubernetes subset)."""
+
+    PENDING = "Pending"
+    RUNNING = "Running"
+    SUCCEEDED = "Succeeded"
+    FAILED = "Failed"
+
+
+@dataclass
+class Pod:
+    """One pod: a container workload with resource requests/limits."""
+
+    name: str
+    namespace: str
+    image: str
+    requests: Resources
+    limits: Resources
+    labels: dict[str, str] = field(default_factory=dict)
+    service_account: str | None = None
+    phase: PodPhase = PodPhase.PENDING
+    node: str | None = None
+    uid: int = field(default_factory=lambda: next(_uid))
+    used: Resources = field(default_factory=lambda: Resources(0, 0))
+
+    def __post_init__(self):
+        if not self.requests.fits_in(self.limits):
+            raise ValueError(
+                f"pod {self.name}: requests {self.requests} exceed limits "
+                f"{self.limits}"
+            )
+
+    @property
+    def running(self) -> bool:
+        """True when scheduled and started."""
+        return self.phase is PodPhase.RUNNING
+
+    def use(self, demand: Resources) -> Resources:
+        """Consume resources, throttled at the pod's limits (cgroup model).
+
+        Returns the granted amount — CPU beyond the limit is compressed
+        (throttled), memory beyond the limit would OOM-kill; we clamp and
+        report, leaving kill policy to the session layer.
+        """
+        granted = Resources(
+            min(demand.cpu_milli, self.limits.cpu_milli),
+            min(demand.memory_mib, self.limits.memory_mib),
+        )
+        self.used = granted
+        return granted
+
+
+@dataclass
+class Deployment:
+    """Replica-managed pod template."""
+
+    name: str
+    namespace: str
+    image: str
+    replicas: int
+    requests: Resources
+    limits: Resources
+    labels: dict[str, str] = field(default_factory=dict)
+    service_account: str | None = None
+
+    def __post_init__(self):
+        if self.replicas < 0:
+            raise ValueError("replicas must be non-negative")
+
+    def pod_template(self, index: int) -> Pod:
+        """Instantiate replica ``index``."""
+        return Pod(
+            name=f"{self.name}-{index}",
+            namespace=self.namespace,
+            image=self.image,
+            requests=self.requests,
+            limits=self.limits,
+            labels=dict(self.labels) | {"deployment": self.name},
+            service_account=self.service_account,
+        )
+
+
+@dataclass
+class Service:
+    """ClusterIP service selecting pods by label."""
+
+    name: str
+    namespace: str
+    selector: dict[str, str]
+    port: int = 8000
+    cluster_ip: str = ""
+
+    def __post_init__(self):
+        if not self.cluster_ip:
+            self.cluster_ip = f"172.30.{next(_uid) % 250}.{next(_uid) % 250}"
+
+    def matches(self, pod: Pod) -> bool:
+        """Label-selector match against a pod."""
+        return pod.namespace == self.namespace and all(
+            pod.labels.get(k) == v for k, v in self.selector.items()
+        )
+
+
+@dataclass
+class Route:
+    """Ingress/route: public host + path prefix → service."""
+
+    name: str
+    namespace: str
+    host: str
+    path: str
+    service_name: str
+
+    def __post_init__(self):
+        if not self.path.startswith("/"):
+            raise ValueError(f"route path must start with '/', got {self.path!r}")
+
+    def matches(self, host: str, path: str) -> bool:
+        """Prefix match of an incoming request."""
+        return host == self.host and (
+            path == self.path or path.startswith(self.path.rstrip("/") + "/")
+        )
+
+
+@dataclass
+class PersistentVolume:
+    """A physical volume holding key→value file content."""
+
+    name: str
+    capacity_mib: int
+    data: dict[str, Any] = field(default_factory=dict)
+    bound_claim: str | None = None
+
+    def __post_init__(self):
+        if self.capacity_mib <= 0:
+            raise ValueError("capacity must be positive")
+
+
+@dataclass
+class PersistentVolumeClaim:
+    """Namespaced claim binding to a PV."""
+
+    name: str
+    namespace: str
+    request_mib: int
+    volume_name: str | None = None
+
+    @property
+    def bound(self) -> bool:
+        """True once bound to a volume."""
+        return self.volume_name is not None
+
+
+@dataclass
+class Secret:
+    """Opaque secret data (e.g. image pull secrets)."""
+
+    name: str
+    namespace: str
+    data: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class RBACRule:
+    """One allowed (resource, verb) pair."""
+
+    resource: str  # 'pods', 'events', ...
+    verbs: frozenset[str]  # {'get','list','watch','create','delete'}
+
+    @classmethod
+    def of(cls, resource: str, *verbs: str) -> "RBACRule":
+        return cls(resource, frozenset(verbs))
+
+
+@dataclass
+class ServiceAccount:
+    """Namespaced identity with RBAC rules.
+
+    The paper (§III-B): the hub's SA "has to be granted at least view
+    permissions for Kubernetes events and permissions to spawn, list, and
+    delete pod resources", local to its namespace.
+    """
+
+    name: str
+    namespace: str
+    rules: list[RBACRule] = field(default_factory=list)
+
+    def allows(self, resource: str, verb: str) -> bool:
+        """Check one (resource, verb) pair."""
+        return any(
+            rule.resource == resource and verb in rule.verbs
+            for rule in self.rules
+        )
+
+    def check(self, resource: str, verb: str) -> None:
+        """Raise :class:`ForbiddenError` if not allowed."""
+        if not self.allows(resource, verb):
+            raise ForbiddenError(
+                f"serviceaccount {self.namespace}/{self.name} cannot "
+                f"{verb} {resource}"
+            )
+
+
+@dataclass
+class Namespace:
+    """Container for all namespaced objects (paper Fig. 2 outer box)."""
+
+    name: str
+    pods: dict[str, Pod] = field(default_factory=dict)
+    deployments: dict[str, Deployment] = field(default_factory=dict)
+    services: dict[str, Service] = field(default_factory=dict)
+    routes: dict[str, Route] = field(default_factory=dict)
+    claims: dict[str, PersistentVolumeClaim] = field(default_factory=dict)
+    secrets: dict[str, Secret] = field(default_factory=dict)
+    service_accounts: dict[str, ServiceAccount] = field(default_factory=dict)

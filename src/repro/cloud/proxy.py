@@ -1,0 +1,132 @@
+"""Two-tier reverse proxy of paper §III-B.
+
+"The reverse proxy connects the public WAN interface with the cluster
+network and forwards a service query on http/https port to one of the
+worker nodes based on a source balanced policy. Each node runs a
+replicated cluster-internal second reverse proxy, which has a prefix-based
+routing. Based on the URL defined ingress/route entity, the reverse proxy
+forwards the package to the pod on the appropriate worker node."
+
+:class:`ServiceProxy` implements exactly that: source-hash load balancing
+at the service node, then route-prefix resolution to a backend pod, with
+a simple latency model per hop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cluster import Cluster, NodeRole
+from .objects import Pod, Route
+
+__all__ = ["RoutedRequest", "ServiceProxy", "RoutingError"]
+
+
+class RoutingError(RuntimeError):
+    """No route/endpoint available for a request (502/503)."""
+
+
+@dataclass(frozen=True)
+class RoutedRequest:
+    """The resolved path of one request through the cluster."""
+
+    source: str
+    host: str
+    path: str
+    entry_node: str  # the service node (tier 1)
+    via_node: str  # worker chosen by source-balancing (tier 2)
+    route_name: str
+    pod: Pod
+    latency_ms: float
+
+
+class ServiceProxy:
+    """Cluster-ingress resolver with a per-hop latency model."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        wan_hop_ms: float = 8.0,
+        lan_hop_ms: float = 0.4,
+        proxy_overhead_ms: float = 0.6,
+    ):
+        self._cluster = cluster
+        self.wan_hop_ms = wan_hop_ms
+        self.lan_hop_ms = lan_hop_ms
+        self.proxy_overhead_ms = proxy_overhead_ms
+        self.handled: list[RoutedRequest] = []
+
+    # ------------------------------------------------------------------
+    def _service_node(self) -> str:
+        for node in self._cluster.nodes.values():
+            if node.role is NodeRole.SERVICE and node.ready:
+                return node.name
+        raise RoutingError("service node down: no public entry point")
+
+    def _find_route(self, host: str, path: str) -> Route:
+        best: Route | None = None
+        for ns in self._cluster.namespaces.values():
+            for route in ns.routes.values():
+                if route.matches(host, path):
+                    # Longest-prefix wins.
+                    if best is None or len(route.path) > len(best.path):
+                        best = route
+        if best is None:
+            raise RoutingError(f"no route matches {host}{path}")
+        return best
+
+    def _pick_worker(self, source: str) -> str:
+        workers = sorted(
+            n.name for n in self._cluster.workers() if n.ready
+        )
+        if not workers:
+            raise RoutingError("no ready worker for source-balanced hop")
+        # Source-balanced policy: stable hash of the client address.
+        index = hash(source) % len(workers)
+        return workers[index]
+
+    def _pick_pod(self, route: Route, source: str) -> Pod:
+        ns = self._cluster.namespace(route.namespace)
+        service = ns.services[route.service_name]
+        endpoints = self._cluster.pods_for_service(service)
+        if not endpoints:
+            raise RoutingError(
+                f"service {route.namespace}/{route.service_name} has no "
+                "running endpoints"
+            )
+        endpoints = sorted(endpoints, key=lambda p: p.name)
+        return endpoints[hash((source, route.name)) % len(endpoints)]
+
+    # ------------------------------------------------------------------
+    def request(self, source: str, host: str, path: str) -> RoutedRequest:
+        """Resolve one inbound request; raises :class:`RoutingError`."""
+        entry = self._service_node()
+        via = self._pick_worker(source)
+        route = self._find_route(host, path)
+        pod = self._pick_pod(route, source)
+        hops_lan = 2 if pod.node == via else 3  # extra hop if pod elsewhere
+        latency = (
+            self.wan_hop_ms
+            + 2 * self.proxy_overhead_ms
+            + hops_lan * self.lan_hop_ms
+        )
+        routed = RoutedRequest(
+            source=source,
+            host=host,
+            path=path,
+            entry_node=entry,
+            via_node=via,
+            route_name=route.name,
+            pod=pod,
+            latency_ms=latency,
+        )
+        self.handled.append(routed)
+        return routed
+
+    def source_distribution(self) -> dict[str, int]:
+        """Requests per via-worker (checks source-balancing fairness)."""
+        counts: dict[str, int] = {}
+        for r in self.handled:
+            counts[r.via_node] = counts.get(r.via_node, 0) + 1
+        return counts

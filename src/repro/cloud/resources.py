@@ -1,0 +1,66 @@
+"""Compute resources: CPU (millicores) and memory (MiB).
+
+Kubernetes-style requests/limits arithmetic. The paper's benchmark pods
+run with "a limit of 10 vCores and 16 GB of memory for each instance";
+master/service nodes have "at least 4 CPUs and 16 GB of memory".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Resources", "PAPER_INSTANCE_LIMIT", "PAPER_CONTROL_NODE"]
+
+
+@dataclass(frozen=True, order=False)
+class Resources:
+    """A CPU/memory quantity (millicores / MiB)."""
+
+    cpu_milli: int
+    memory_mib: int
+
+    def __post_init__(self):
+        if self.cpu_milli < 0 or self.memory_mib < 0:
+            raise ValueError(f"resources must be non-negative, got {self}")
+
+    @classmethod
+    def cores(cls, cpus: float, memory_gib: float) -> "Resources":
+        """Convenience constructor in whole cores / GiB."""
+        return cls(int(cpus * 1000), int(memory_gib * 1024))
+
+    def __add__(self, other: "Resources") -> "Resources":
+        return Resources(
+            self.cpu_milli + other.cpu_milli, self.memory_mib + other.memory_mib
+        )
+
+    def __sub__(self, other: "Resources") -> "Resources":
+        return Resources(
+            self.cpu_milli - other.cpu_milli, self.memory_mib - other.memory_mib
+        )
+
+    def fits_in(self, capacity: "Resources") -> bool:
+        """True if this request fits in ``capacity``."""
+        return (
+            self.cpu_milli <= capacity.cpu_milli
+            and self.memory_mib <= capacity.memory_mib
+        )
+
+    def scaled(self, factor: float) -> "Resources":
+        """Scale both dimensions (e.g. utilization fractions)."""
+        if factor < 0:
+            raise ValueError("factor must be non-negative")
+        return Resources(
+            int(self.cpu_milli * factor), int(self.memory_mib * factor)
+        )
+
+    @property
+    def zero(self) -> bool:
+        """True if both dimensions are zero."""
+        return self.cpu_milli == 0 and self.memory_mib == 0
+
+
+#: The paper's per-user-instance limit: 10 vCores, 16 GB.
+PAPER_INSTANCE_LIMIT = Resources.cores(10, 16)
+
+#: Master/service node sizing from §III-A: 4 CPUs, 16 GB.
+PAPER_CONTROL_NODE = Resources.cores(4, 16)

@@ -1,0 +1,76 @@
+"""Pod scheduler: places pending pods on worker nodes.
+
+Best-fit by remaining CPU (densest packing first keeps whole workers free
+for large instances), honoring requests vs. node capacity. Scheduled pods
+start after the cluster's startup delay (image pull + conda env
+activation — the paper's user pods boot a >200-package environment).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from .objects import Pod, PodPhase
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import Cluster
+
+__all__ = ["Scheduler"]
+
+
+class Scheduler:
+    """Reconciling scheduler bound to one cluster."""
+
+    def __init__(self, cluster: "Cluster"):
+        self._cluster = cluster
+
+    def pending_pods(self) -> list[Pod]:
+        """All pods awaiting placement, oldest first."""
+        pods = [
+            pod
+            for ns in self._cluster.namespaces.values()
+            for pod in ns.pods.values()
+            if pod.phase is PodPhase.PENDING and pod.node is None
+        ]
+        return sorted(pods, key=lambda p: p.uid)
+
+    def reconcile(self) -> int:
+        """Try to place every pending pod; returns number placed."""
+        placed = 0
+        for pod in self.pending_pods():
+            if self._place(pod):
+                placed += 1
+        return placed
+
+    def _place(self, pod: Pod) -> bool:
+        candidates = [
+            node
+            for node in self._cluster.workers()
+            if node.can_fit(pod.requests)
+        ]
+        if not candidates:
+            return False
+        # Best fit: the node whose remaining CPU after placement is
+        # smallest (ties broken by name for determinism).
+        best = min(
+            candidates,
+            key=lambda n: (n.free.cpu_milli - pod.requests.cpu_milli, n.name),
+        )
+        best.allocated = best.allocated + pod.requests
+        pod.node = best.name
+        self._cluster._record(
+            "Scheduled", f"{pod.namespace}/{pod.name}", f"assigned to {best.name}"
+        )
+
+        def start(p: Pod = pod) -> None:
+            # The node may have failed in the meantime.
+            if p.node and self._cluster.nodes[p.node].ready and (
+                p.phase is PodPhase.PENDING
+            ):
+                p.phase = PodPhase.RUNNING
+                self._cluster._record(
+                    "Started", f"{p.namespace}/{p.name}", f"running on {p.node}"
+                )
+
+        self._cluster.clock.schedule(self._cluster.pod_startup_seconds, start)
+        return True

@@ -1,0 +1,143 @@
+"""User sessions: running widget workloads on cloud pods.
+
+Ties the stack together: a :class:`CloudSession` owns a
+:class:`~repro.core.widget.RINWidget` that conceptually executes inside
+the user's notebook pod. Interactions are routed through the
+:class:`~repro.cloud.proxy.ServiceProxy`, and the server-side milliseconds
+are scaled by the pod's *CPU pressure* — when the widget's compute demand
+exceeds the pod limit (or the node is oversubscribed), updates slow down
+proportionally, which is exactly the paper's observation that "as long as
+the resource provisioning does not create bottlenecks on the cloud
+infrastructure, the server-based performance metrics are stable".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.app import RINExplorer
+from ..core.events import UpdateTiming
+from .cluster import Cluster
+from .jupyterhub import JupyterHub
+from .objects import Pod
+from .proxy import ServiceProxy
+from .resources import Resources
+
+__all__ = ["CloudSession", "SessionRequest"]
+
+#: CPU the widget's update pipeline wants while recomputing (threads).
+_WIDGET_DEMAND = Resources.cores(4, 3)
+
+
+@dataclass(frozen=True)
+class SessionRequest:
+    """One user interaction executed over the cloud."""
+
+    action: str
+    network_ms: float  # proxy path latency
+    server_ms: float  # pod-side compute (pressure-scaled)
+    client_ms: float  # simulated browser
+    slowdown: float  # CPU-pressure factor applied (1.0 = unthrottled)
+
+    @property
+    def total_ms(self) -> float:
+        """End-to-end perceived latency."""
+        return self.network_ms + self.server_ms + self.client_ms
+
+
+class CloudSession:
+    """An authenticated user driving the RIN widget on their pod."""
+
+    def __init__(
+        self,
+        hub: JupyterHub,
+        proxy: ServiceProxy,
+        username: str,
+        password: str,
+        *,
+        protein: str = "A3D",
+        n_frames: int = 10,
+        client_address: str | None = None,
+        seed: int = 7,
+    ):
+        self._hub = hub
+        self._proxy = proxy
+        self._cluster: Cluster = hub.spawner._cluster
+        self.username = username
+        self._address = client_address or f"198.51.100.{abs(hash(username)) % 250}"
+        self.pod: Pod = hub.login(username, password)
+        self.app = RINExplorer(protein, n_frames=n_frames, seed=seed)
+        self.requests: list[SessionRequest] = []
+
+    # ------------------------------------------------------------------
+    def _pressure(self) -> float:
+        """CPU slowdown factor from pod limits and node oversubscription.
+
+        cgroup throttling: demand beyond the pod limit is compressed.
+        Node pressure: if the host node's total requested CPU exceeds its
+        capacity-share actually available, everyone slows down.
+        """
+        granted = self.pod.use(_WIDGET_DEMAND)
+        limit_factor = _WIDGET_DEMAND.cpu_milli / max(granted.cpu_milli, 1)
+        node = self._cluster.nodes.get(self.pod.node or "", None)
+        node_factor = 1.0
+        if node is not None and node.capacity.cpu_milli > 0:
+            over = node.allocated.cpu_milli / node.capacity.cpu_milli
+            node_factor = max(1.0, over)
+        return max(limit_factor, node_factor)
+
+    def _route(self) -> float:
+        path = (
+            f"{self._hub.config.service_path}/user/{self.username}"
+        )
+        routed = self._proxy.request(
+            self._address, self._hub.config.host, path
+        )
+        return routed.latency_ms
+
+    def _execute(self, action: str, fn) -> SessionRequest:
+        if not self.pod.running:
+            raise RuntimeError(
+                f"pod {self.pod.name} is not running (phase {self.pod.phase})"
+            )
+        network_ms = self._route()
+        timing: UpdateTiming = fn()
+        slowdown = self._pressure()
+        request = SessionRequest(
+            action=action,
+            network_ms=network_ms,
+            server_ms=timing.server_ms * slowdown,
+            client_ms=timing.client_ms,
+            slowdown=slowdown,
+        )
+        self.requests.append(request)
+        return request
+
+    # ------------------------------------------------------------------
+    def switch_measure(self, name: str) -> SessionRequest:
+        """Measure-slider interaction over the cloud."""
+        return self._execute(
+            "measure", lambda: self.app.widget.pipeline.switch_measure(name)
+        )
+
+    def switch_cutoff(self, cutoff: float) -> SessionRequest:
+        """Cut-off-slider interaction over the cloud."""
+        return self._execute(
+            "cutoff", lambda: self.app.widget.pipeline.switch_cutoff(cutoff)
+        )
+
+    def switch_frame(self, frame: int) -> SessionRequest:
+        """Trajectory-slider interaction over the cloud."""
+        return self._execute(
+            "frame", lambda: self.app.widget.pipeline.switch_frame(frame)
+        )
+
+    def close(self) -> None:
+        """End the session (delete the pod)."""
+        self._hub.logout(self.username)
+
+    def mean_total_ms(self) -> float:
+        """Mean end-to-end latency over this session's interactions."""
+        if not self.requests:
+            return 0.0
+        return sum(r.total_ms for r in self.requests) / len(self.requests)

@@ -1,0 +1,70 @@
+"""Discrete-event simulation clock.
+
+All cloud components share one :class:`SimClock`; time advances only via
+:meth:`advance`/:meth:`run_until`, firing scheduled callbacks in timestamp
+order. Deterministic by construction — no wall-clock reads.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+__all__ = ["SimClock"]
+
+
+class SimClock:
+    """Manual-advance clock with a callback event queue (seconds)."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()  # FIFO tie-break for equal times
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (s)."""
+        return self._now
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` seconds of simulated time."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        heapq.heappush(
+            self._queue, (self._now + delay, next(self._counter), callback)
+        )
+
+    def advance(self, dt: float) -> int:
+        """Advance by ``dt`` seconds, firing due events; returns #fired."""
+        if dt < 0:
+            raise ValueError(f"dt must be non-negative, got {dt}")
+        return self.run_until(self._now + dt)
+
+    def run_until(self, t: float) -> int:
+        """Advance to absolute time ``t`` (must not move backwards)."""
+        if t < self._now:
+            raise ValueError(f"cannot move clock backwards ({t} < {self._now})")
+        fired = 0
+        while self._queue and self._queue[0][0] <= t:
+            when, _, callback = heapq.heappop(self._queue)
+            self._now = when
+            callback()
+            fired += 1
+        self._now = t
+        return fired
+
+    def drain(self, max_events: int = 100_000) -> int:
+        """Fire every pending event regardless of timestamp."""
+        fired = 0
+        while self._queue and fired < max_events:
+            when, _, callback = heapq.heappop(self._queue)
+            self._now = max(self._now, when)
+            callback()
+            fired += 1
+        return fired
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled events not yet fired."""
+        return len(self._queue)

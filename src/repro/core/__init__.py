@@ -1,0 +1,36 @@
+"""repro.core — the paper's contribution: the interactive RIN widget.
+
+Headless reproduction of the Figure 5 GUI: dual 3-D plots (protein-based
+and Maxent-Stress layouts), frame/cut-off/measure sliders, score buffer
+with delta view, and an update pipeline that reports the exact timing
+decomposition benchmarked in Figures 6-8 (real server milliseconds +
+simulated browser milliseconds).
+"""
+
+from .app import RINExplorer, SessionScript
+from .client import DEFAULT_COST_MODEL, ClientCostModel, ClientSimulator
+from .controls import Button, Checkbox, FloatSlider, IntSlider, SelectionSlider
+from .events import EventKind, EventLog, UpdateTiming
+from .pipeline import UpdatePipeline
+from .player import AnimationPlayer, PlaybackReport
+from .widget import RINWidget
+
+__all__ = [
+    "RINWidget",
+    "AnimationPlayer",
+    "PlaybackReport",
+    "RINExplorer",
+    "SessionScript",
+    "UpdatePipeline",
+    "ClientSimulator",
+    "ClientCostModel",
+    "DEFAULT_COST_MODEL",
+    "EventKind",
+    "EventLog",
+    "UpdateTiming",
+    "IntSlider",
+    "FloatSlider",
+    "SelectionSlider",
+    "Button",
+    "Checkbox",
+]

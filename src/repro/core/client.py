@@ -1,0 +1,88 @@
+"""Browser-side cost simulator.
+
+The paper's total update times (Figures 6c, 7f, 8i) are *client-perceived*:
+server compute + widget data handling + updating the Plotly graph's DOM
+elements, measured in Firefox 96 on an M1 MacBook Pro. We cannot run a
+browser offline, so this module prices DOM work with a linear cost model
+whose constants are calibrated to reproduce the paper's decomposition:
+
+* measure switch → only node recolors; total ≈ 10× the server time
+  (Fig. 6c vs 6a/b);
+* cut-off switch → the protein-layout plot updates only its edge
+  elements, the Maxent-Stress plot rebuilds; ≈ +100 ms client share
+  (Fig. 7f vs 7d+7e);
+* frame switch → node positions change, both plots rebuild all
+  node+edge elements; ≈ +200 ms client share (Fig. 8h vs 8i).
+
+Constants live in :class:`ClientCostModel` and are easy to re-calibrate;
+see EXPERIMENTS.md for measured-vs-paper numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..vizbridge.figure import UpdateStats
+
+__all__ = ["ClientCostModel", "ClientSimulator", "DEFAULT_COST_MODEL"]
+
+
+@dataclass(frozen=True)
+class ClientCostModel:
+    """Linear DOM-update cost constants (milliseconds)."""
+
+    base_ms: float = 6.0  # fixed round-trip + ipywidgets sync overhead
+    node_restyle_ms: float = 0.20  # recolor one marker element
+    node_move_ms: float = 0.12  # reposition one marker element in place
+    edge_move_ms: float = 0.03  # reposition one line segment in place
+    trace_rebuild_ms: float = 8.0  # flat tear-down/re-create per trace
+    element_rebuild_ms: float = 0.08  # recreate one DOM/WebGL element
+    bytes_per_ms: float = 1.5e5  # payload transfer throughput
+
+    def price(self, stats: UpdateStats, payload_bytes: int = 0) -> float:
+        """Milliseconds the modelled browser needs for ``stats``."""
+        return (
+            self.base_ms
+            + stats.nodes_restyled * self.node_restyle_ms
+            + stats.nodes_moved * self.node_move_ms
+            + stats.edges_moved * self.edge_move_ms
+            + stats.trace_rebuilds * self.trace_rebuild_ms
+            + stats.elements_rebuilt * self.element_rebuild_ms
+            + payload_bytes / self.bytes_per_ms
+        )
+
+
+DEFAULT_COST_MODEL = ClientCostModel()
+
+
+class ClientSimulator:
+    """Accumulates figure mutation stats and prices them.
+
+    One simulator fronts the whole widget (both 3-D plots): the widget's
+    update pipeline resets it, runs the figure mutations, then asks for
+    the simulated client time of everything that happened.
+    """
+
+    def __init__(self, model: ClientCostModel = DEFAULT_COST_MODEL):
+        self.model = model
+        self._figures: list = []
+
+    def attach(self, *figures) -> None:
+        """Track mutation stats of these FigureWidgets."""
+        self._figures.extend(figures)
+
+    def reset(self) -> None:
+        """Zero all attached stats (start of an update cycle)."""
+        for fig in self._figures:
+            fig.stats.reset()
+
+    def collected_stats(self) -> UpdateStats:
+        """Merged stats across attached figures since the last reset."""
+        merged = UpdateStats()
+        for fig in self._figures:
+            merged = merged.merged(fig.stats)
+        return merged
+
+    def simulated_ms(self, payload_bytes: int = 0) -> float:
+        """Price the accumulated mutations (deterministic)."""
+        return self.model.price(self.collected_stats(), payload_bytes)

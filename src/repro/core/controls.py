@@ -1,0 +1,149 @@
+"""Headless ipywidgets-style controls.
+
+The paper's GUI stacks plotly ``FigureWidget``s with ipywidgets sliders
+("Two additional sliders let the domain expert choose between different
+RIN trajectory frames ... and different cut-off distances"), a measure
+selector, a Recompute button and an Automatic-Recompute toggle. These
+classes replicate the observe/callback semantics of ipywidgets without a
+browser: setting ``.value`` fires registered observers with an ipywidgets
+``change`` dict.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+__all__ = ["IntSlider", "FloatSlider", "SelectionSlider", "Button", "Checkbox"]
+
+Observer = Callable[[dict[str, Any]], None]
+
+
+class _ValueWidget:
+    """Common observe/notify machinery."""
+
+    def __init__(self, value: Any, description: str = ""):
+        self._value = value
+        self.description = description
+        self._observers: list[Observer] = []
+
+    @property
+    def value(self) -> Any:
+        """Current value; assignment validates and notifies observers."""
+        return self._value
+
+    @value.setter
+    def value(self, new: Any) -> None:
+        new = self._validate(new)
+        old = self._value
+        if new == old:
+            return
+        self._value = new
+        change = {
+            "name": "value",
+            "old": old,
+            "new": new,
+            "owner": self,
+            "type": "change",
+        }
+        for cb in self._observers:
+            cb(change)
+
+    def _validate(self, new: Any) -> Any:
+        return new
+
+    def observe(self, callback: Observer, names: str = "value") -> None:
+        """Register a change observer (ipywidgets signature)."""
+        if names != "value":
+            raise ValueError("only 'value' observation is supported")
+        self._observers.append(callback)
+
+    def unobserve(self, callback: Observer) -> None:
+        """Remove a previously registered observer."""
+        self._observers.remove(callback)
+
+
+class IntSlider(_ValueWidget):
+    """Integer slider (trajectory frame selector)."""
+
+    def __init__(self, value: int, min: int, max: int, step: int = 1,
+                 description: str = ""):
+        if min > max:
+            raise ValueError(f"min {min} > max {max}")
+        if step < 1:
+            raise ValueError("step must be >= 1")
+        self.min, self.max, self.step = int(min), int(max), int(step)
+        super().__init__(self._clamp(int(value)), description)
+
+    def _clamp(self, v: int) -> int:
+        return max(self.min, min(self.max, v))
+
+    def _validate(self, new: Any) -> int:
+        return self._clamp(int(new))
+
+
+class FloatSlider(_ValueWidget):
+    """Float slider (edge cut-off distance selector)."""
+
+    def __init__(self, value: float, min: float, max: float, step: float = 0.1,
+                 description: str = ""):
+        if min > max:
+            raise ValueError(f"min {min} > max {max}")
+        if step <= 0:
+            raise ValueError("step must be positive")
+        self.min, self.max, self.step = float(min), float(max), float(step)
+        super().__init__(self._clamp(float(value)), description)
+
+    def _clamp(self, v: float) -> float:
+        return max(self.min, min(self.max, v))
+
+    def _validate(self, new: Any) -> float:
+        return self._clamp(float(new))
+
+
+class SelectionSlider(_ValueWidget):
+    """Discrete selector (the Graph Measure chooser)."""
+
+    def __init__(self, options: Sequence[str], value: str | None = None,
+                 description: str = ""):
+        options = list(options)
+        if not options:
+            raise ValueError("options must be non-empty")
+        self.options = options
+        initial = options[0] if value is None else value
+        if initial not in options:
+            raise ValueError(f"value {initial!r} not in options")
+        super().__init__(initial, description)
+
+    def _validate(self, new: Any) -> str:
+        if new not in self.options:
+            raise ValueError(f"value {new!r} not in options {self.options}")
+        return new
+
+
+class Button:
+    """Click-button (the Recompute button)."""
+
+    def __init__(self, description: str = ""):
+        self.description = description
+        self._handlers: list[Callable[["Button"], None]] = []
+        self.click_count = 0
+
+    def on_click(self, handler: Callable[["Button"], None]) -> None:
+        """Register a click handler."""
+        self._handlers.append(handler)
+
+    def click(self) -> None:
+        """Simulate a user click."""
+        self.click_count += 1
+        for handler in self._handlers:
+            handler(self)
+
+
+class Checkbox(_ValueWidget):
+    """Boolean toggle (Automatic Recompute / ID coloring)."""
+
+    def __init__(self, value: bool = False, description: str = ""):
+        super().__init__(bool(value), description)
+
+    def _validate(self, new: Any) -> bool:
+        return bool(new)

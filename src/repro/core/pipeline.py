@@ -1,0 +1,233 @@
+"""The widget's update pipeline (paper §V-B mechanics).
+
+One pipeline instance owns the server-side state behind the GUI: the
+:class:`~repro.rin.dynamic.DynamicRIN`, the two layouts (protein-based and
+Maxent-Stress), the current measure scores, and the two figure widgets.
+Each slider event maps to a pipeline method that
+
+1. updates the RIN (edge diff),
+2. recomputes what the event invalidates (layout and/or measure),
+3. mutates the figures (tracked), and
+4. returns an :class:`~repro.core.events.UpdateTiming` with real measured
+   server milliseconds and simulated client milliseconds.
+
+The division of labour follows the paper exactly: a cut-off change keeps
+node positions in the protein plot (edge-only DOM update there) while the
+Maxent-Stress plot is rebuilt; a frame change moves every node in both
+plots; a measure switch only recolors.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..graphkit.layout import maxent_stress_layout
+from ..rin.dynamic import DynamicRIN
+from ..rin.measures import GraphMeasure, get_measure
+from ..vizbridge.bridge import graph_traces
+from ..vizbridge.figure import FigureWidget, Layout
+from ..vizbridge.palettes import labels_to_colors, scores_to_colors
+from .client import ClientSimulator
+from .events import EventKind, UpdateTiming
+
+__all__ = ["UpdatePipeline"]
+
+
+def _now_ms() -> float:
+    return time.perf_counter() * 1e3
+
+
+class UpdatePipeline:
+    """Server-side widget state machine with per-stage timing."""
+
+    def __init__(
+        self,
+        rin: DynamicRIN,
+        *,
+        measure: str = "Closeness Centrality",
+        client: ClientSimulator | None = None,
+        layout_seed: int = 42,
+        layout_warm_start: bool = True,
+    ):
+        self._rin = rin
+        self._measure: GraphMeasure = get_measure(measure)
+        self._client = client or ClientSimulator()
+        self._layout_seed = layout_seed
+        self._warm_start = layout_warm_start
+
+        self._maxent_coords: np.ndarray | None = None
+        self._scores: np.ndarray | None = None
+
+        self.protein_figure = FigureWidget(Layout(title="Layout: Protein-based"))
+        self.maxent_figure = FigureWidget(Layout(title="Layout: Maxent-Stress"))
+        self._client.attach(self.protein_figure, self.maxent_figure)
+        self._initial_render()
+
+    # ------------------------------------------------------------------
+    @property
+    def rin(self) -> DynamicRIN:
+        """The dynamic RIN behind the widget."""
+        return self._rin
+
+    @property
+    def measure(self) -> GraphMeasure:
+        """Currently selected graph measure."""
+        return self._measure
+
+    @property
+    def scores(self) -> np.ndarray:
+        """Latest node scores."""
+        assert self._scores is not None
+        return self._scores
+
+    @property
+    def maxent_coordinates(self) -> np.ndarray:
+        """Latest Maxent-Stress embedding."""
+        assert self._maxent_coords is not None
+        return self._maxent_coords
+
+    @property
+    def client(self) -> ClientSimulator:
+        """The attached client cost simulator."""
+        return self._client
+
+    # ------------------------------------------------------------------
+    def _compute_layout(self) -> None:
+        initial = self._maxent_coords if self._warm_start else None
+        self._maxent_coords = maxent_stress_layout(
+            self._rin.graph,
+            dim=3,
+            k=1,
+            seed=self._layout_seed,
+            initial=initial,
+        )
+
+    def _compute_measure(self) -> None:
+        self._scores = self._measure(self._rin.graph)
+
+    def _colors(self) -> list[str]:
+        assert self._scores is not None
+        if self._measure.kind == "community":
+            return labels_to_colors(self._scores)
+        return scores_to_colors(self._scores)
+
+    def _initial_render(self) -> None:
+        self._compute_layout()
+        self._compute_measure()
+        g = self._rin.graph
+        colors = self._colors()
+        for fig, coords in (
+            (self.protein_figure, self._rin.positions()),
+            (self.maxent_figure, self._maxent_coords),
+        ):
+            nodes, edges = graph_traces(g, np.asarray(coords), scores=self._scores)
+            nodes.set_colors(colors)
+            if fig.n_traces == 0:
+                fig.add_traces(nodes, edges)
+            else:
+                fig.replace_trace(0, nodes)
+                fig.replace_trace(1, edges)
+
+    def _rebuild_figure(self, fig: FigureWidget, coords: np.ndarray) -> None:
+        g = self._rin.graph
+        nodes, edges = graph_traces(g, coords, scores=self._scores)
+        nodes.set_colors(self._colors())
+        fig.replace_trace(0, nodes)
+        fig.replace_trace(1, edges)
+
+    def _update_edges_only(self, fig: FigureWidget, coords: np.ndarray) -> None:
+        """Edge-only DOM update (protein plot on a cut-off change)."""
+        g = self._rin.graph
+        _, edges = graph_traces(g, coords, scores=self._scores)
+        fig.move_points(1, x=edges.x, y=edges.y, z=edges.z)
+        # Node colors may change with the measure values on the new graph.
+        fig.restyle_colors(0, self._colors())
+
+    # ------------------------------------------------------------------
+    # the three benchmarked events
+    # ------------------------------------------------------------------
+    def switch_measure(self, name: str) -> UpdateTiming:
+        """Graph-measure slider moved (Figure 6): recompute + recolor."""
+        self._measure = get_measure(name)
+        t0 = _now_ms()
+        self._compute_measure()
+        t1 = _now_ms()
+        self._client.reset()
+        colors = self._colors()
+        self.protein_figure.restyle_colors(0, colors)
+        self.maxent_figure.restyle_colors(0, colors)
+        t2 = _now_ms()
+        timing = UpdateTiming(
+            kind=EventKind.MEASURE_SWITCH,
+            measure_ms=t1 - t0,
+            data_handling_ms=t2 - t1,
+            client_ms=self._client.simulated_ms(),
+            edges_after=self._rin.graph.number_of_edges(),
+        )
+        return timing
+
+    def switch_cutoff(self, cutoff: float) -> UpdateTiming:
+        """Cut-off slider moved (Figure 7): edge diff + layout + measure."""
+        t0 = _now_ms()
+        diff = self._rin.set_cutoff(cutoff)
+        t1 = _now_ms()
+        self._compute_layout()
+        t2 = _now_ms()
+        self._compute_measure()
+        t3 = _now_ms()
+        self._client.reset()
+        # Protein plot: node positions unchanged — edge elements only.
+        self._update_edges_only(self.protein_figure, self._rin.positions())
+        # Maxent plot: layout moved every node — full rebuild.
+        self._rebuild_figure(self.maxent_figure, self._maxent_coords)
+        t4 = _now_ms()
+        return UpdateTiming(
+            kind=EventKind.CUTOFF_SWITCH,
+            edge_update_ms=t1 - t0,
+            layout_ms=t2 - t1,
+            measure_ms=t3 - t2,
+            data_handling_ms=t4 - t3,
+            client_ms=self._client.simulated_ms(),
+            edges_after=self._rin.graph.number_of_edges(),
+            edges_changed=diff.total,
+        )
+
+    def switch_frame(self, frame: int) -> UpdateTiming:
+        """Trajectory slider moved (Figure 8): everything updates."""
+        t0 = _now_ms()
+        diff = self._rin.set_frame(frame)
+        t1 = _now_ms()
+        self._compute_layout()
+        t2 = _now_ms()
+        self._compute_measure()
+        t3 = _now_ms()
+        self._client.reset()
+        # Node positions changed in both plots: full rebuilds.
+        self._rebuild_figure(self.protein_figure, self._rin.positions())
+        self._rebuild_figure(self.maxent_figure, self._maxent_coords)
+        t4 = _now_ms()
+        return UpdateTiming(
+            kind=EventKind.FRAME_SWITCH,
+            edge_update_ms=t1 - t0,
+            layout_ms=t2 - t1,
+            measure_ms=t3 - t2,
+            data_handling_ms=t4 - t3,
+            client_ms=self._client.simulated_ms(),
+            edges_after=self._rin.graph.number_of_edges(),
+            edges_changed=diff.total,
+        )
+
+    def full_render(self) -> UpdateTiming:
+        """Recompute everything (the Recompute button)."""
+        t0 = _now_ms()
+        self._client.reset()
+        self._initial_render()
+        t1 = _now_ms()
+        return UpdateTiming(
+            kind=EventKind.FULL_RENDER,
+            data_handling_ms=t1 - t0,
+            client_ms=self._client.simulated_ms(),
+            edges_after=self._rin.graph.number_of_edges(),
+        )

@@ -1,0 +1,216 @@
+"""RINWidget — the paper's interactive GUI (Figure 5), headless.
+
+Assembles exactly the components of Figure 5:
+
+* top: two side-by-side 3-D plots — protein-based layout (left, node
+  positions = C-alpha coordinates) and Maxent-Stress layout (right);
+* bottom: a trajectory-frame slider, an edge cut-off slider (Å) and a
+  graph-measure selector;
+* misc: a Recompute button, an Automatic-Recompute toggle, an ID-coloring
+  toggle, and a score buffer that can display the *delta* between the
+  current and previous measure values ("By storing the most recent
+  computed node property within a buffer in the widget, it is also
+  possible to visualize the delta between different cut-off distances or
+  trajectory frames").
+
+All interactions funnel through the :class:`UpdatePipeline` and are
+recorded in an :class:`~repro.core.events.EventLog` — the data source for
+the Figure 6-8 benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..md.trajectory import Trajectory
+from ..rin.dynamic import DynamicRIN
+from ..rin.measures import measure_names
+from .client import ClientCostModel, ClientSimulator
+from .controls import Button, Checkbox, FloatSlider, IntSlider, SelectionSlider
+from .events import EventKind, EventLog, UpdateTiming
+from .pipeline import UpdatePipeline
+
+__all__ = ["RINWidget"]
+
+
+class RINWidget:
+    """The interactive RIN exploration widget.
+
+    Parameters
+    ----------
+    trajectory:
+        The MD trajectory to explore.
+    cutoff / frame / measure:
+        Initial slider values.
+    criterion:
+        Residue distance criterion for RIN construction.
+    cost_model:
+        Client (browser) DOM cost model for perceived-latency simulation.
+    auto_recompute:
+        Start with automatic recomputation on slider moves (paper: the
+        user can "choose whether re-computation is done automatically or
+        on demand").
+    """
+
+    def __init__(
+        self,
+        trajectory: Trajectory,
+        *,
+        cutoff: float = 4.5,
+        frame: int = 0,
+        measure: str = "Closeness Centrality",
+        criterion: str = "min",
+        cutoff_range: tuple[float, float] = (3.0, 10.0),
+        cost_model: ClientCostModel | None = None,
+        auto_recompute: bool = True,
+    ):
+        self._trajectory = trajectory
+        rin = DynamicRIN(
+            trajectory, frame=frame, cutoff=cutoff, criterion=criterion
+        )
+        client = ClientSimulator(cost_model or ClientCostModel())
+        self._pipeline = UpdatePipeline(rin, measure=measure, client=client)
+        self.log = EventLog()
+
+        # --- controls (Figure 5 bottom row) --------------------------------
+        self.frame_slider = IntSlider(
+            frame, 0, trajectory.n_frames - 1, description="Trajectory"
+        )
+        self.cutoff_slider = FloatSlider(
+            cutoff,
+            cutoff_range[0],
+            cutoff_range[1],
+            step=0.05,
+            description="Edge Distance cut-off (Å)",
+        )
+        self.measure_slider = SelectionSlider(
+            measure_names(), value=measure, description="Graph Measure"
+        )
+        self.recompute_button = Button("Recompute")
+        self.auto_recompute = Checkbox(auto_recompute, "Automatic Recompute")
+        self.id_coloring = Checkbox(False, "ID coloring")
+
+        self.frame_slider.observe(self._on_frame)
+        self.cutoff_slider.observe(self._on_cutoff)
+        self.measure_slider.observe(self._on_measure)
+        self.recompute_button.on_click(self._on_recompute)
+
+        # --- score buffer (delta view) --------------------------------------
+        self._score_buffer: np.ndarray | None = None
+        self._pending: list[str] = []  # deferred events while auto is off
+
+    # ------------------------------------------------------------------
+    # public state
+    # ------------------------------------------------------------------
+    @property
+    def pipeline(self) -> UpdatePipeline:
+        """The server-side update pipeline."""
+        return self._pipeline
+
+    @property
+    def graph(self):
+        """The current RIN graph."""
+        return self._pipeline.rin.graph
+
+    @property
+    def scores(self) -> np.ndarray:
+        """Current measure scores."""
+        return self._pipeline.scores
+
+    @property
+    def protein_figure(self):
+        """Left plot: protein-based layout."""
+        return self._pipeline.protein_figure
+
+    @property
+    def maxent_figure(self):
+        """Right plot: Maxent-Stress layout."""
+        return self._pipeline.maxent_figure
+
+    def status_line(self) -> str:
+        """The Figure 5 header line: file, nodes, edges."""
+        g = self.graph
+        return (
+            f"File: {self._trajectory.topology.name}-protein | "
+            f"Nodes: {g.number_of_nodes()} | Edges: {g.number_of_edges()}"
+        )
+
+    # ------------------------------------------------------------------
+    # slider handlers
+    # ------------------------------------------------------------------
+    def _buffer_scores(self) -> None:
+        self._score_buffer = self._pipeline.scores.copy()
+
+    def _on_frame(self, change) -> None:
+        if not self.auto_recompute.value:
+            self._pending.append("frame")
+            return
+        self._buffer_scores()
+        timing = self._pipeline.switch_frame(change["new"])
+        self.log.record(timing)
+
+    def _on_cutoff(self, change) -> None:
+        if not self.auto_recompute.value:
+            self._pending.append("cutoff")
+            return
+        self._buffer_scores()
+        timing = self._pipeline.switch_cutoff(change["new"])
+        self.log.record(timing)
+
+    def _on_measure(self, change) -> None:
+        if not self.auto_recompute.value:
+            self._pending.append("measure")
+            return
+        self._buffer_scores()
+        timing = self._pipeline.switch_measure(change["new"])
+        self.log.record(timing)
+
+    def _on_recompute(self, _button) -> None:
+        # Apply any deferred state, then force a full render.
+        self._buffer_scores()
+        rin = self._pipeline.rin
+        if rin.frame != self.frame_slider.value or rin.cutoff != (
+            self.cutoff_slider.value
+        ):
+            rin.set_state(
+                frame=self.frame_slider.value, cutoff=self.cutoff_slider.value
+            )
+        if self._pipeline.measure.name != self.measure_slider.value:
+            self._pipeline.switch_measure(self.measure_slider.value)
+        timing = self._pipeline.full_render()
+        self.log.record(timing)
+        self._pending.clear()
+
+    # ------------------------------------------------------------------
+    # score buffer / delta view
+    # ------------------------------------------------------------------
+    def score_delta(self) -> np.ndarray:
+        """Current scores minus the buffered previous scores.
+
+        Raises ``RuntimeError`` before the first interaction (no buffer).
+        """
+        if self._score_buffer is None:
+            raise RuntimeError("no buffered scores yet; interact first")
+        current = self._pipeline.scores
+        if len(current) != len(self._score_buffer):
+            raise RuntimeError("buffer is stale (node count changed)")
+        return current - self._score_buffer
+
+    @property
+    def pending_events(self) -> list[str]:
+        """Deferred interactions awaiting the Recompute button."""
+        return list(self._pending)
+
+    # ------------------------------------------------------------------
+    def last_timing(self) -> UpdateTiming:
+        """Timing of the most recent update."""
+        if not self.log.entries:
+            raise RuntimeError("no interactions recorded yet")
+        return self.log.entries[-1]
+
+    def perceived_fps(self, kind: EventKind = EventKind.MEASURE_SWITCH) -> float:
+        """Achievable interaction rate for an event kind (paper §V-B:
+        'suitable for fluent animation or video playback (24 fps to 60
+        fps)' for measure switches)."""
+        mean_ms = self.log.mean_total_ms(kind)
+        return 1000.0 / mean_ms if mean_ms > 0 else float("inf")

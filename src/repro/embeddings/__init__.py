@@ -1,0 +1,11 @@
+"""repro.embeddings — node2vec for RIN→ML workflows (paper §VII).
+
+The paper's future-work section: "Graph embeddings, like node2vec — which
+is already part of NetworKit — ... could be applied to reduce the
+complexity of the protein simulation data."
+"""
+
+from .node2vec import Node2Vec, cosine_similarity
+from .walks import random_walks
+
+__all__ = ["Node2Vec", "random_walks", "cosine_similarity"]

@@ -1,0 +1,48 @@
+"""repro.graphkit — the NetworKit-analog network-analysis substrate.
+
+A from-scratch, NumPy-vectorized reimplementation of the NetworKit feature
+set the paper relies on: a dynamic :class:`Graph`, centralities
+(:mod:`~repro.graphkit.centrality`), community detection
+(:mod:`~repro.graphkit.community`), components, shortest paths, graph
+generators, 3D graph drawing (:mod:`~repro.graphkit.layout`, including
+Maxent-Stress) and graph IO.
+
+The public API intentionally mirrors NetworKit's run-pattern::
+
+    from repro import graphkit as gk
+    g = gk.generators.erdos_renyi(100, 0.05, seed=1)
+    bc = gk.centrality.Betweenness(g).run()
+    scores = bc.scores()
+"""
+
+from . import centrality, community, generators, io, layout
+from .components import ConnectedComponents, connected_components, largest_component
+from .coreness import CoreDecomposition, core_decomposition, local_clustering
+from .csr import CSRGraph
+from .distance import APSP, BFS, Diameter, all_pairs_distances, bfs_distances, dijkstra
+from .graph import Graph
+from .parallel import get_num_threads, set_num_threads
+
+__all__ = [
+    "Graph",
+    "CSRGraph",
+    "CoreDecomposition",
+    "core_decomposition",
+    "local_clustering",
+    "centrality",
+    "community",
+    "generators",
+    "layout",
+    "io",
+    "ConnectedComponents",
+    "connected_components",
+    "largest_component",
+    "BFS",
+    "APSP",
+    "Diameter",
+    "bfs_distances",
+    "dijkstra",
+    "all_pairs_distances",
+    "set_num_threads",
+    "get_num_threads",
+]

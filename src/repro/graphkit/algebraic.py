@@ -1,0 +1,92 @@
+"""Algebraic graph views: adjacency, Laplacians, spectra.
+
+Thin, explicit wrappers over the CSR snapshot for workflows that leave
+the provided algorithms and go straight to linear algebra (the paper's
+"integrated into analysis pipelines" promise).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as splinalg
+
+from .csr import CSRGraph
+from .graph import Graph
+
+__all__ = [
+    "adjacency_matrix",
+    "laplacian",
+    "normalized_laplacian",
+    "algebraic_connectivity",
+    "spectral_radius",
+]
+
+
+def _csr(g: Graph | CSRGraph) -> CSRGraph:
+    return g.csr() if isinstance(g, Graph) else g
+
+
+def adjacency_matrix(g: Graph | CSRGraph) -> sparse.csr_matrix:
+    """The (weighted) adjacency matrix as scipy CSR."""
+    return _csr(g).to_scipy().copy()
+
+
+def laplacian(g: Graph | CSRGraph) -> sparse.csr_matrix:
+    """Combinatorial Laplacian ``L = D − A``."""
+    adj = _csr(g).to_scipy()
+    degrees = np.asarray(adj.sum(axis=1)).ravel()
+    return (sparse.diags(degrees) - adj).tocsr()
+
+
+def normalized_laplacian(g: Graph | CSRGraph) -> sparse.csr_matrix:
+    """Symmetric normalized Laplacian ``I − D^{-1/2} A D^{-1/2}``.
+
+    Isolated nodes contribute a zero row/column (their degree pseudo-
+    inverse is 0), matching the standard convention.
+    """
+    adj = _csr(g).to_scipy()
+    degrees = np.asarray(adj.sum(axis=1)).ravel()
+    inv_sqrt = np.zeros_like(degrees)
+    nz = degrees > 0
+    inv_sqrt[nz] = 1.0 / np.sqrt(degrees[nz])
+    d = sparse.diags(inv_sqrt)
+    n = adj.shape[0]
+    eye = sparse.diags(np.where(nz, 1.0, 0.0))
+    return (eye - d @ adj @ d).tocsr()
+
+
+def algebraic_connectivity(g: Graph | CSRGraph) -> float:
+    """Second-smallest Laplacian eigenvalue (Fiedler value).
+
+    Zero iff the graph is disconnected — the spectral version of the
+    §IV connected-components-vs-cutoff observation.
+    """
+    csr = _csr(g)
+    n = csr.n
+    if n < 2:
+        return 0.0
+    lap = laplacian(csr)
+    if n <= 16:
+        vals = np.linalg.eigvalsh(lap.toarray())
+    else:
+        try:
+            vals, _ = splinalg.eigsh(lap.tocsc(), k=2, sigma=-1e-9, which="LM")
+        except Exception:
+            vals = np.linalg.eigvalsh(lap.toarray())
+    vals = np.sort(vals)
+    return float(max(vals[1], 0.0))
+
+
+def spectral_radius(g: Graph | CSRGraph) -> float:
+    """Largest adjacency eigenvalue (governs Katz α bounds)."""
+    csr = _csr(g)
+    n = csr.n
+    if n == 0 or csr.nnz == 0:
+        return 0.0
+    adj = csr.to_scipy()
+    if n <= 16:
+        return float(np.max(np.abs(np.linalg.eigvalsh(adj.toarray()))))
+    vals, _ = splinalg.eigsh(adj.tocsc(), k=1, which="LA",
+                             v0=np.ones(n) / np.sqrt(n))
+    return float(vals[0])

@@ -1,0 +1,25 @@
+"""Centrality measures (NetworKit ``centrality`` module analog)."""
+
+from .base import Centrality
+from .betweenness import Betweenness, EstimateBetweenness
+from .closeness import ApproxCloseness, Closeness, HarmonicCloseness
+from .degree import DegreeCentrality
+from .eigenvector import EigenvectorCentrality
+from .katz import KatzCentrality
+from .pagerank import PageRank, PageRankNorm
+from .topcloseness import TopCloseness
+
+__all__ = [
+    "TopCloseness",
+    "Centrality",
+    "Betweenness",
+    "EstimateBetweenness",
+    "Closeness",
+    "ApproxCloseness",
+    "HarmonicCloseness",
+    "DegreeCentrality",
+    "EigenvectorCentrality",
+    "KatzCentrality",
+    "PageRank",
+    "PageRankNorm",
+]

@@ -1,0 +1,44 @@
+"""Degree centrality."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..csr import CSRGraph
+from .base import Centrality
+
+__all__ = ["DegreeCentrality"]
+
+
+class DegreeCentrality(Centrality):
+    """Degree (or strength) centrality.
+
+    Parameters
+    ----------
+    g:
+        The graph.
+    normalized:
+        Divide by ``n - 1`` (fraction of possible neighbours).
+    weighted:
+        Use the sum of incident edge weights instead of the edge count.
+    """
+
+    name = "degree"
+
+    def __init__(self, g, *, normalized: bool = False, weighted: bool = False):
+        super().__init__(g, normalized=normalized)
+        self._weighted = bool(weighted)
+
+    def _compute(self, csr: CSRGraph) -> np.ndarray:
+        if self._weighted:
+            return csr.weighted_degrees()
+        return csr.degrees().astype(np.float64)
+
+    def _normalize(self, scores: np.ndarray, csr: CSRGraph) -> np.ndarray:
+        n = csr.n
+        return scores / (n - 1) if n > 1 else scores
+
+    def _centralization_denominator(self, n: int, peak: float) -> float:
+        # Freeman: the star graph achieves Σ(max − deg) = (n−1)(n−2).
+        scale = 1.0 / (n - 1) if self._normalized and n > 1 else 1.0
+        return (n - 1) * (n - 2) * scale

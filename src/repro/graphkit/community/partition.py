@@ -1,0 +1,134 @@
+"""Partition data structure (NetworKit ``Partition`` analog).
+
+A partition assigns every node exactly one block id. Blocks ids are dense
+after :meth:`Partition.compact`. Used by all community-detection algorithms
+and by the quality/NMI measures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = ["Partition"]
+
+
+class Partition:
+    """Disjoint blocks over nodes ``0..n-1``.
+
+    Parameters
+    ----------
+    labels:
+        Either an int (number of nodes; all nodes start in singleton blocks)
+        or an array of per-node block labels.
+    """
+
+    __slots__ = ("_labels",)
+
+    def __init__(self, labels: int | Iterable[int] | np.ndarray):
+        if isinstance(labels, (int, np.integer)):
+            if labels < 0:
+                raise ValueError(f"node count must be non-negative, got {labels}")
+            self._labels = np.arange(int(labels), dtype=np.int64)
+        else:
+            arr = np.asarray(list(labels) if not isinstance(labels, np.ndarray) else labels)
+            arr = arr.astype(np.int64, copy=True)
+            if arr.ndim != 1:
+                raise ValueError("labels must be one-dimensional")
+            if len(arr) and arr.min() < 0:
+                raise ValueError("block labels must be non-negative")
+            self._labels = arr
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_blocks(cls, n: int, blocks: Iterable[Iterable[int]]) -> "Partition":
+        """Build from explicit node groups; ungrouped nodes get singletons."""
+        labels = np.full(n, -1, dtype=np.int64)
+        for b, nodes in enumerate(blocks):
+            for u in nodes:
+                if not 0 <= u < n:
+                    raise IndexError(f"node {u} out of range [0, {n})")
+                if labels[u] != -1:
+                    raise ValueError(f"node {u} assigned to two blocks")
+                labels[u] = b
+        next_label = int(labels.max()) + 1 if len(labels) else 0
+        for u in np.flatnonzero(labels == -1):
+            labels[u] = next_label
+            next_label += 1
+        return cls(labels)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __getitem__(self, u: int) -> int:
+        return int(self._labels[u])
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(int(x) for x in self._labels)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Partition):
+            return NotImplemented
+        if len(self) != len(other):
+            return False
+        return bool(
+            np.array_equal(self.compact().labels(), other.compact().labels())
+        )
+
+    def __hash__(self) -> int:  # partitions are mutable-ish; identity hash
+        return id(self)
+
+    def labels(self) -> np.ndarray:
+        """The underlying per-node label vector (no copy)."""
+        return self._labels
+
+    def subset_of(self, u: int) -> int:
+        """Block id of node ``u`` (NetworKit ``subsetOf`` naming)."""
+        return int(self._labels[u])
+
+    def number_of_subsets(self) -> int:
+        """Number of distinct blocks."""
+        return int(len(np.unique(self._labels))) if len(self._labels) else 0
+
+    def move_to_subset(self, block: int, u: int) -> None:
+        """Reassign node ``u`` to ``block``."""
+        if block < 0:
+            raise ValueError("block labels must be non-negative")
+        self._labels[u] = block
+
+    def subset_sizes(self) -> dict[int, int]:
+        """Mapping block label -> size."""
+        uniq, counts = np.unique(self._labels, return_counts=True)
+        return {int(b): int(c) for b, c in zip(uniq, counts)}
+
+    def members(self, block: int) -> np.ndarray:
+        """Sorted node ids in ``block``."""
+        return np.flatnonzero(self._labels == block).astype(np.int64)
+
+    def subsets(self) -> list[np.ndarray]:
+        """All blocks as arrays of node ids, ordered by compact label."""
+        uniq = np.unique(self._labels)
+        return [self.members(int(b)) for b in uniq]
+
+    def compact(self) -> "Partition":
+        """Return a copy with labels renumbered densely by first appearance."""
+        if len(self._labels) == 0:
+            return Partition(self._labels.copy())
+        _, first_pos, inverse = np.unique(
+            self._labels, return_index=True, return_inverse=True
+        )
+        # np.unique sorts by label value; renumber by order of first node
+        # appearance for a canonical form independent of raw label values.
+        order = np.argsort(first_pos, kind="stable")
+        rank = np.empty_like(order)
+        rank[order] = np.arange(len(order))
+        return Partition(rank[inverse])
+
+    def copy(self) -> "Partition":
+        """Deep copy."""
+        return Partition(self._labels.copy())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Partition(n={len(self._labels)}, blocks={self.number_of_subsets()})"

@@ -1,0 +1,188 @@
+"""Immutable CSR (compressed sparse row) graph snapshot.
+
+All vectorized kernels in :mod:`repro.graphkit` operate on this structure:
+``indptr``/``indices``/``weights`` arrays exactly like ``scipy.sparse.csr_matrix``,
+plus cheap conversions to scipy sparse for the linear-algebra-backed
+algorithms (eigenvector/Katz/PageRank centrality, Maxent-Stress solves).
+
+Keeping analytics on an immutable snapshot while mutation happens on the
+dict-of-dicts :class:`~repro.graphkit.graph.Graph` gives us the
+"views, not copies" and cache-locality idioms from the HPC guides: a
+snapshot is built once per widget update and then shared by every measure.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+from scipy import sparse
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """Read-only CSR adjacency.
+
+    Attributes
+    ----------
+    indptr:
+        ``(n+1,)`` int64 row pointers.
+    indices:
+        ``(nnz,)`` int32 column indices (out-neighbours per row).
+    weights:
+        ``(nnz,)`` float64 edge weights aligned with ``indices``.
+    directed:
+        Whether the adjacency is asymmetric.
+    """
+
+    __slots__ = ("indptr", "indices", "weights", "directed", "_scipy")
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        weights: np.ndarray,
+        *,
+        directed: bool = False,
+    ):
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int32)
+        self.weights = np.ascontiguousarray(weights, dtype=np.float64)
+        if self.indptr.ndim != 1 or self.indptr[0] != 0:
+            raise ValueError("indptr must be 1-D and start at 0")
+        if self.indptr[-1] != len(self.indices):
+            raise ValueError("indptr[-1] must equal len(indices)")
+        if len(self.indices) != len(self.weights):
+            raise ValueError("indices and weights must be aligned")
+        self.directed = bool(directed)
+        self._scipy: sparse.csr_matrix | None = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_adjacency(
+        cls, adj: Sequence[dict[int, float]], *, directed: bool = False
+    ) -> "CSRGraph":
+        """Build from a dict-of-dicts adjacency list."""
+        n = len(adj)
+        degrees = np.fromiter((len(a) for a in adj), dtype=np.int64, count=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        nnz = int(indptr[-1])
+        indices = np.empty(nnz, dtype=np.int32)
+        weights = np.empty(nnz, dtype=np.float64)
+        pos = 0
+        for a in adj:
+            k = len(a)
+            if k:
+                # Sorted neighbours give deterministic traversal order and
+                # better cache behaviour for the frontier kernels.
+                items = sorted(a.items())
+                indices[pos : pos + k] = [v for v, _ in items]
+                weights[pos : pos + k] = [w for _, w in items]
+                pos += k
+        return cls(indptr, indices, weights, directed=directed)
+
+    @classmethod
+    def from_edge_array(
+        cls,
+        n: int,
+        edges: np.ndarray,
+        weights: np.ndarray | None = None,
+        *,
+        directed: bool = False,
+    ) -> "CSRGraph":
+        """Build from an ``(m, 2)`` edge array (symmetrized if undirected)."""
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        m = len(edges)
+        w = (
+            np.ones(m, dtype=np.float64)
+            if weights is None
+            else np.asarray(weights, dtype=np.float64)
+        )
+        if not directed and m:
+            edges = np.vstack([edges, edges[:, ::-1]])
+            w = np.concatenate([w, w])
+        mat = sparse.csr_matrix(
+            (w, (edges[:, 0], edges[:, 1])), shape=(n, n), dtype=np.float64
+        )
+        mat.sum_duplicates()
+        mat.sort_indices()
+        return cls(mat.indptr, mat.indices, mat.data, directed=directed)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self.indptr) - 1
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored directed arcs (2m for undirected graphs)."""
+        return len(self.indices)
+
+    @property
+    def m(self) -> int:
+        """Number of edges (undirected edges counted once)."""
+        return self.nnz if self.directed else self.nnz // 2
+
+    def degrees(self) -> np.ndarray:
+        """Out-degree vector."""
+        return np.diff(self.indptr)
+
+    def weighted_degrees(self) -> np.ndarray:
+        """Sum of incident weights per node (strength).
+
+        Implemented as a segmented sum over the CSR value array; empty rows
+        (isolated nodes) correctly yield 0.
+        """
+        if self.nnz == 0:
+            return np.zeros(self.n, dtype=np.float64)
+        cumulative = np.concatenate([[0.0], np.cumsum(self.weights)])
+        return cumulative[self.indptr[1:]] - cumulative[self.indptr[:-1]]
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """View of the out-neighbour ids of ``u``."""
+        return self.indices[self.indptr[u] : self.indptr[u + 1]]
+
+    def neighbor_weights(self, u: int) -> np.ndarray:
+        """View of weights aligned with :meth:`neighbors`."""
+        return self.weights[self.indptr[u] : self.indptr[u + 1]]
+
+    def to_scipy(self) -> sparse.csr_matrix:
+        """Zero-copy scipy CSR matrix view of the adjacency (cached)."""
+        if self._scipy is None:
+            n = self.n
+            self._scipy = sparse.csr_matrix(
+                (self.weights, self.indices, self.indptr), shape=(n, n)
+            )
+        return self._scipy
+
+    def expand_frontier(self, frontier: np.ndarray) -> np.ndarray:
+        """All out-neighbours of the nodes in ``frontier`` (with repeats).
+
+        The BFS-style kernels gather neighbour ranges with vectorized
+        ``reduceat``-free slicing: concatenation of per-node views.  For the
+        small frontiers typical of RINs this is allocation-light; for large
+        frontiers it amortizes into one big fancy-index gather.
+        """
+        if len(frontier) == 0:
+            return np.empty(0, dtype=np.int32)
+        starts = self.indptr[frontier]
+        stops = self.indptr[frontier + 1]
+        counts = stops - starts
+        total = int(counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.int32)
+        # Build gather indices: for each frontier node a contiguous range.
+        out = np.empty(total, dtype=np.int64)
+        offsets = np.zeros(len(frontier) + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        # ranges: starts[i] + (0..counts[i])
+        idx = np.arange(total, dtype=np.int64)
+        seg = np.searchsorted(offsets[1:], idx, side="right")
+        out = starts[seg] + (idx - offsets[seg])
+        return self.indices[out]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSRGraph(n={self.n}, m={self.m}, directed={self.directed})"

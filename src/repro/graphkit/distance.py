@@ -1,0 +1,284 @@
+"""Shortest-path algorithms (NetworKit ``distance`` module analog).
+
+Provides vectorized BFS (unweighted), Dijkstra (weighted), all-pairs
+shortest paths, eccentricity and diameter (exact and two-sweep estimate).
+
+The BFS kernel is frontier-based: each level expands all frontier nodes at
+once via CSR gathers, so per-level work is a handful of NumPy calls rather
+than a Python loop over edges — the "vectorize the inner loop" idiom.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from .csr import CSRGraph
+from .graph import Graph
+from .parallel import parallel_for_chunks
+
+__all__ = [
+    "bfs_distances",
+    "bfs_tree",
+    "dijkstra",
+    "all_pairs_distances",
+    "eccentricity",
+    "multi_source_bfs",
+    "effective_diameter",
+    "Diameter",
+    "BFS",
+    "APSP",
+]
+
+UNREACHED = -1
+
+
+def _as_csr(g: Graph | CSRGraph) -> CSRGraph:
+    return g.csr() if isinstance(g, Graph) else g
+
+
+def bfs_distances(g: Graph | CSRGraph, source: int) -> np.ndarray:
+    """Hop distances from ``source``; unreachable nodes get ``-1``."""
+    csr = _as_csr(g)
+    n = csr.n
+    if not 0 <= source < n:
+        raise IndexError(f"source {source} out of range [0, {n})")
+    dist = np.full(n, UNREACHED, dtype=np.int64)
+    dist[source] = 0
+    frontier = np.asarray([source], dtype=np.int64)
+    level = 0
+    while len(frontier):
+        level += 1
+        nbrs = csr.expand_frontier(frontier)
+        if len(nbrs) == 0:
+            break
+        fresh = np.unique(nbrs[dist[nbrs] == UNREACHED])
+        if len(fresh) == 0:
+            break
+        dist[fresh] = level
+        frontier = fresh.astype(np.int64)
+    return dist
+
+
+def bfs_tree(g: Graph | CSRGraph, source: int) -> tuple[np.ndarray, np.ndarray]:
+    """BFS distances and one predecessor per node (-1 at roots/unreached)."""
+    csr = _as_csr(g)
+    n = csr.n
+    dist = np.full(n, UNREACHED, dtype=np.int64)
+    parent = np.full(n, -1, dtype=np.int64)
+    dist[source] = 0
+    frontier = [source]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for v in csr.neighbors(u):
+                if dist[v] == UNREACHED:
+                    dist[v] = dist[u] + 1
+                    parent[v] = u
+                    nxt.append(int(v))
+        frontier = nxt
+    return dist, parent
+
+
+def dijkstra(g: Graph | CSRGraph, source: int) -> np.ndarray:
+    """Weighted shortest-path distances from ``source`` (inf if unreached)."""
+    csr = _as_csr(g)
+    n = csr.n
+    if not 0 <= source < n:
+        raise IndexError(f"source {source} out of range [0, {n})")
+    if np.any(csr.weights < 0):
+        raise ValueError("Dijkstra requires non-negative edge weights")
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    heap = [(0.0, source)]
+    done = np.zeros(n, dtype=bool)
+    while heap:
+        d, u = heapq.heappop(heap)
+        if done[u]:
+            continue
+        done[u] = True
+        nbrs = csr.neighbors(u)
+        wts = csr.neighbor_weights(u)
+        for v, w in zip(nbrs, wts):
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, int(v)))
+    return dist
+
+
+def all_pairs_distances(
+    g: Graph | CSRGraph, *, weighted: bool = False, threads: int | None = None
+) -> np.ndarray:
+    """All-pairs shortest paths as an ``(n, n)`` matrix.
+
+    Unweighted distances use per-source BFS over a static block
+    decomposition of the sources (parallel over chunks); weighted distances
+    use Dijkstra. Unreachable pairs are ``inf`` in the returned float matrix.
+    """
+    csr = _as_csr(g)
+    n = csr.n
+    out = np.full((n, n), np.inf)
+
+    if weighted:
+        def run_chunk(start: int, stop: int) -> None:
+            for s in range(start, stop):
+                out[s] = dijkstra(csr, s)
+    else:
+        def run_chunk(start: int, stop: int) -> None:
+            for s in range(start, stop):
+                d = bfs_distances(csr, s)
+                row = out[s]
+                reached = d >= 0
+                row[reached] = d[reached]
+
+    parallel_for_chunks(run_chunk, n, threads=threads)
+    return out
+
+
+def eccentricity(g: Graph | CSRGraph, source: int) -> int:
+    """Maximum finite hop distance from ``source``."""
+    d = bfs_distances(g, source)
+    reached = d[d >= 0]
+    return int(reached.max()) if len(reached) else 0
+
+
+def multi_source_bfs(g: Graph | CSRGraph, sources) -> np.ndarray:
+    """Hop distance to the *nearest* of several sources (-1 unreachable).
+
+    One level-synchronous sweep from all seeds at once — the standard
+    trick for distance-to-set queries (e.g. distance of every residue to
+    an active site in a RIN).
+    """
+    csr = _as_csr(g)
+    n = csr.n
+    sources = np.asarray(list(sources), dtype=np.int64)
+    if len(sources) == 0:
+        raise ValueError("need at least one source")
+    for s in sources:
+        if not 0 <= s < n:
+            raise IndexError(f"source {s} out of range [0, {n})")
+    dist = np.full(n, UNREACHED, dtype=np.int64)
+    dist[sources] = 0
+    frontier = np.unique(sources)
+    level = 0
+    while len(frontier):
+        level += 1
+        nbrs = csr.expand_frontier(frontier)
+        if len(nbrs) == 0:
+            break
+        fresh = np.unique(nbrs[dist[nbrs] == UNREACHED])
+        if len(fresh) == 0:
+            break
+        dist[fresh] = level
+        frontier = fresh.astype(np.int64)
+    return dist
+
+
+def effective_diameter(
+    g: Graph | CSRGraph, *, percentile: float = 0.9
+) -> float:
+    """Smallest distance d such that ≥ ``percentile`` of connected pairs
+    are within d hops (the classic 90%-effective diameter).
+
+    Exact (all-pairs BFS); intended for the small/medium graphs RIN
+    workflows produce. Returns 0 for graphs without connected pairs.
+    """
+    if not 0.0 < percentile <= 1.0:
+        raise ValueError(f"percentile must be in (0, 1], got {percentile}")
+    csr = _as_csr(g)
+    n = csr.n
+    if n < 2:
+        return 0.0
+    distances = []
+    for s in range(n):
+        d = bfs_distances(csr, s)
+        reached = d[d > 0]
+        distances.append(reached)
+    flat = np.concatenate(distances) if distances else np.empty(0)
+    if len(flat) == 0:
+        return 0.0
+    return float(np.quantile(flat, percentile, method="inverted_cdf"))
+
+
+class BFS:
+    """NetworKit-style runner: ``BFS(G, source).run().distances()``."""
+
+    def __init__(self, g: Graph | CSRGraph, source: int):
+        self._g = g
+        self._source = source
+        self._dist: np.ndarray | None = None
+
+    def run(self) -> "BFS":
+        """Execute the traversal."""
+        self._dist = bfs_distances(self._g, self._source)
+        return self
+
+    def distances(self) -> np.ndarray:
+        """Hop distances (-1 when unreachable); requires :meth:`run`."""
+        if self._dist is None:
+            raise RuntimeError("call run() first")
+        return self._dist
+
+
+class APSP:
+    """NetworKit-style all-pairs shortest path runner."""
+
+    def __init__(self, g: Graph | CSRGraph, *, weighted: bool = False):
+        self._g = g
+        self._weighted = weighted
+        self._dist: np.ndarray | None = None
+
+    def run(self) -> "APSP":
+        """Execute the all-pairs computation."""
+        self._dist = all_pairs_distances(self._g, weighted=self._weighted)
+        return self
+
+    def distances(self) -> np.ndarray:
+        """The ``(n, n)`` distance matrix; requires :meth:`run`."""
+        if self._dist is None:
+            raise RuntimeError("call run() first")
+        return self._dist
+
+
+class Diameter:
+    """Graph diameter — exact or two-sweep lower-bound estimate.
+
+    ``algo='exact'`` runs BFS from every node; ``algo='estimate'`` runs the
+    classic double-sweep heuristic (BFS from an arbitrary node, then BFS
+    from the farthest node found) which is exact on trees and a lower bound
+    in general.
+    """
+
+    def __init__(self, g: Graph | CSRGraph, *, algo: str = "exact"):
+        if algo not in ("exact", "estimate"):
+            raise ValueError(f"unknown algo {algo!r}; use 'exact' or 'estimate'")
+        self._g = g
+        self._algo = algo
+        self._value: int | None = None
+
+    def run(self) -> "Diameter":
+        """Compute the diameter over the largest set of reachable pairs."""
+        csr = _as_csr(self._g)
+        n = csr.n
+        if n == 0:
+            self._value = 0
+            return self
+        if self._algo == "exact":
+            best = 0
+            for s in range(n):
+                best = max(best, eccentricity(csr, s))
+            self._value = best
+        else:
+            d0 = bfs_distances(csr, 0)
+            far = int(np.argmax(d0))
+            d1 = bfs_distances(csr, far)
+            self._value = int(d1.max()) if len(d1) else 0
+        return self
+
+    def get_diameter(self) -> int:
+        """The computed diameter; requires :meth:`run`."""
+        if self._value is None:
+            raise RuntimeError("call run() first")
+        return self._value

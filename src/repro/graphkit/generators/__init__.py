@@ -1,0 +1,18 @@
+"""Graph generators (NetworKit ``generators`` module analog)."""
+
+from .barabasi_albert import barabasi_albert
+from .erdos_renyi import erdos_renyi
+from .grid import grid_2d, grid_3d
+from .planted_partition import planted_partition
+from .rgg import random_geometric
+from .watts_strogatz import watts_strogatz
+
+__all__ = [
+    "erdos_renyi",
+    "barabasi_albert",
+    "random_geometric",
+    "watts_strogatz",
+    "grid_2d",
+    "grid_3d",
+    "planted_partition",
+]

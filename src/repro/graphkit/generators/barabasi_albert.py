@@ -1,0 +1,58 @@
+"""Barabasi-Albert preferential attachment generator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+
+__all__ = ["barabasi_albert"]
+
+
+def barabasi_albert(
+    n: int, k: int, *, n0: int | None = None, seed: int | None = None
+) -> Graph:
+    """Preferential attachment: each new node attaches to ``k`` targets.
+
+    Uses the repeated-endpoint list trick: sampling uniformly from the list
+    of all edge endpoints is exactly degree-proportional sampling, no
+    per-step degree renormalization required.
+
+    Parameters
+    ----------
+    n:
+        Final node count.
+    k:
+        Edges added per new node.
+    n0:
+        Size of the seed clique (default ``k``).
+    seed:
+        RNG seed.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    n0 = k if n0 is None else n0
+    if n0 < k:
+        raise ValueError(f"seed size n0={n0} must be >= k={k}")
+    if n < n0:
+        raise ValueError(f"n={n} must be >= n0={n0}")
+    rng = np.random.default_rng(seed)
+    g = Graph(n)
+    endpoints: list[int] = []
+    # Seed: a clique on n0 nodes (connected, degree > 0 everywhere).
+    for u in range(n0):
+        for v in range(u + 1, n0):
+            g.add_edge(u, v)
+            endpoints.extend((u, v))
+    if n0 == 1 and n > 1:
+        endpoints.append(0)  # lone seed node needs presence in the pool
+    for u in range(n0, n):
+        targets: set[int] = set()
+        pool = endpoints
+        while len(targets) < min(k, u):
+            cand = pool[int(rng.integers(len(pool)))]
+            targets.add(cand)
+        for v in targets:
+            g.add_edge(u, v)
+            endpoints.extend((u, v))
+    return g

@@ -1,0 +1,53 @@
+"""Erdos-Renyi G(n, p) generator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+
+__all__ = ["erdos_renyi"]
+
+
+def erdos_renyi(n: int, p: float, *, seed: int | None = None) -> Graph:
+    """Sample G(n, p) with vectorized geometric edge skipping.
+
+    Instead of testing all ``n(n-1)/2`` pairs, edge gaps are drawn from the
+    geometric distribution (the standard O(n + m) trick), so dense loops in
+    Python are avoided entirely.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    g = Graph(n)
+    if n < 2 or p == 0.0:
+        return g
+    rng = np.random.default_rng(seed)
+    total_pairs = n * (n - 1) // 2
+    if p == 1.0:
+        picks = np.arange(total_pairs, dtype=np.int64)
+    else:
+        # Expected edges + slack; draw geometric gaps in one vector call.
+        expected = int(total_pairs * p)
+        budget = expected + 10 + int(4 * np.sqrt(max(expected, 1)))
+        gaps = rng.geometric(p, size=budget)
+        positions = np.cumsum(gaps) - 1
+        while positions[-1] < total_pairs:  # rare: extend the tail
+            more = rng.geometric(p, size=budget)
+            positions = np.concatenate(
+                [positions, positions[-1] + np.cumsum(more)]
+            )
+        picks = positions[positions < total_pairs]
+    # Map linear pair index k to (u, v), u < v, row-major upper triangle.
+    u = (
+        n
+        - 2
+        - np.floor(
+            np.sqrt(-8.0 * picks + 4.0 * n * (n - 1) - 7.0) / 2.0 - 0.5
+        ).astype(np.int64)
+    )
+    v = picks + u + 1 - (n * (n - 1) // 2) + ((n - u) * (n - u - 1)) // 2
+    for a, b in zip(u, v):
+        g.add_edge(int(a), int(b))
+    return g

@@ -1,0 +1,46 @@
+"""Regular grid graphs (2-D and 3-D)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+
+__all__ = ["grid_2d", "grid_3d"]
+
+
+def grid_2d(rows: int, cols: int) -> Graph:
+    """4-connected ``rows × cols`` lattice; node id ``r * cols + c``."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be >= 1")
+    g = Graph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(u, u + 1)
+            if r + 1 < rows:
+                g.add_edge(u, u + cols)
+    return g
+
+
+def grid_3d(nx: int, ny: int, nz: int) -> Graph:
+    """6-connected lattice; node id ``(x * ny + y) * nz + z``."""
+    if min(nx, ny, nz) < 1:
+        raise ValueError("grid dimensions must be >= 1")
+    g = Graph(nx * ny * nz)
+
+    def nid(x: int, y: int, z: int) -> int:
+        return (x * ny + y) * nz + z
+
+    for x in range(nx):
+        for y in range(ny):
+            for z in range(nz):
+                u = nid(x, y, z)
+                if x + 1 < nx:
+                    g.add_edge(u, nid(x + 1, y, z))
+                if y + 1 < ny:
+                    g.add_edge(u, nid(x, y + 1, z))
+                if z + 1 < nz:
+                    g.add_edge(u, nid(x, y, z + 1))
+    return g

@@ -1,0 +1,49 @@
+"""Planted-partition (stochastic block model) generator.
+
+The standard ground-truth workload for community-detection tests: ``b``
+blocks with intra-block edge probability ``p_in`` and inter-block
+probability ``p_out``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..community.partition import Partition
+from ..graph import Graph
+
+__all__ = ["planted_partition"]
+
+
+def planted_partition(
+    n: int,
+    blocks: int,
+    p_in: float,
+    p_out: float,
+    *,
+    seed: int | None = None,
+) -> tuple[Graph, Partition]:
+    """Sample a stochastic block model with equal-size blocks.
+
+    Returns the graph and the ground-truth :class:`Partition`.
+    """
+    if blocks < 1:
+        raise ValueError(f"blocks must be >= 1, got {blocks}")
+    if n < blocks:
+        raise ValueError(f"n={n} must be >= blocks={blocks}")
+    for name, p in (("p_in", p_in), ("p_out", p_out)):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"{name} must be in [0, 1], got {p}")
+    rng = np.random.default_rng(seed)
+    labels = np.arange(n) % blocks
+    rng.shuffle(labels)
+    g = Graph(n)
+    # Vectorized pair sampling per probability class: draw the upper
+    # triangle mask in blocks of rows to bound memory at O(n) per row.
+    for u in range(n - 1):
+        vs = np.arange(u + 1, n)
+        probs = np.where(labels[vs] == labels[u], p_in, p_out)
+        hits = vs[rng.random(len(vs)) < probs]
+        for v in hits:
+            g.add_edge(u, int(v))
+    return g, Partition(labels)

@@ -1,0 +1,57 @@
+"""Random geometric graph in 2 or 3 dimensions.
+
+Nodes are uniform points in the unit cube; an edge joins pairs within
+``radius``. This is the structural twin of a RIN (cut-off graph on
+residue positions), which makes it the natural scalability workload for
+the Figure 4 layout benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from ..graph import Graph
+
+__all__ = ["random_geometric"]
+
+
+def random_geometric(
+    n: int,
+    radius: float,
+    *,
+    dim: int = 3,
+    seed: int | None = None,
+    return_positions: bool = False,
+) -> Graph | tuple[Graph, np.ndarray]:
+    """Sample a random geometric graph via a k-d tree range query.
+
+    Parameters
+    ----------
+    n:
+        Node count.
+    radius:
+        Connection radius in the unit cube.
+    dim:
+        2 or 3 dimensions.
+    return_positions:
+        Also return the ``(n, dim)`` point array (useful as an initial
+        layout).
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    if dim not in (2, 3):
+        raise ValueError(f"dim must be 2 or 3, got {dim}")
+    rng = np.random.default_rng(seed)
+    points = rng.random((n, dim))
+    g = Graph(n)
+    if n >= 2 and radius > 0:
+        tree = cKDTree(points)
+        pairs = tree.query_pairs(r=radius, output_type="ndarray")
+        for u, v in pairs:
+            g.add_edge(int(u), int(v))
+    if return_positions:
+        return g, points
+    return g

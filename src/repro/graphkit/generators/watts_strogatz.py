@@ -1,0 +1,52 @@
+"""Watts-Strogatz small-world generator."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph import Graph
+
+__all__ = ["watts_strogatz"]
+
+
+def watts_strogatz(
+    n: int, k: int, p: float, *, seed: int | None = None
+) -> Graph:
+    """Ring lattice with ``k`` nearest neighbours, rewired with prob. ``p``.
+
+    Parameters
+    ----------
+    n:
+        Node count.
+    k:
+        Each node connects to ``k`` nearest ring neighbours (must be even
+        and ``< n``).
+    p:
+        Rewiring probability per lattice edge.
+    """
+    if k % 2 != 0:
+        raise ValueError(f"k must be even, got {k}")
+    if k >= n:
+        raise ValueError(f"k={k} must be < n={n}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    rng = np.random.default_rng(seed)
+    g = Graph(n)
+    for u in range(n):
+        for offset in range(1, k // 2 + 1):
+            v = (u + offset) % n
+            if not g.has_edge(u, v):
+                g.add_edge(u, v)
+    if p > 0.0:
+        for u, v in list(g.iter_edges()):
+            if rng.random() < p:
+                # Rewire the far endpoint to a uniform non-neighbour.
+                candidates = np.flatnonzero(
+                    ~np.isin(np.arange(n), [u, *g.neighbors(u)])
+                )
+                if len(candidates) == 0:
+                    continue
+                w = int(rng.choice(candidates))
+                g.remove_edge(u, v)
+                g.add_edge(u, w)
+    return g

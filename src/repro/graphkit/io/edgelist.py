@@ -1,0 +1,51 @@
+"""Whitespace-separated edge-list reader/writer."""
+
+from __future__ import annotations
+
+import os
+
+from ..graph import Graph
+
+__all__ = ["read_edgelist", "write_edgelist"]
+
+
+def read_edgelist(
+    path: str | os.PathLike,
+    *,
+    directed: bool = False,
+    weighted: bool = False,
+    comment: str = "#",
+) -> Graph:
+    """Parse ``u v [w]`` lines; node count is 1 + max id."""
+    edges: list[tuple[int, int, float]] = []
+    max_node = -1
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line or line.startswith(comment):
+                continue
+            fields = line.split()
+            if len(fields) < 2:
+                raise ValueError(f"{path}:{lineno}: need at least 'u v'")
+            u, v = int(fields[0]), int(fields[1])
+            if u < 0 or v < 0:
+                raise ValueError(f"{path}:{lineno}: negative node id")
+            w = float(fields[2]) if weighted and len(fields) > 2 else 1.0
+            edges.append((u, v, w))
+            max_node = max(max_node, u, v)
+    g = Graph(max_node + 1, weighted=weighted, directed=directed)
+    for u, v, w in edges:
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v, w)
+    return g
+
+
+def write_edgelist(g: Graph, path: str | os.PathLike) -> None:
+    """Write one ``u v [w]`` line per edge."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if g.weighted:
+            for u, v, w in g.iter_weighted_edges():
+                handle.write(f"{u} {v} {w}\n")
+        else:
+            for u, v in g.iter_edges():
+                handle.write(f"{u} {v}\n")

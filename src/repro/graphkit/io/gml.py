@@ -1,0 +1,97 @@
+"""Minimal GML (Graph Modelling Language) reader/writer.
+
+Supports the subset produced by Gephi/Cytoscape exports that RIN users
+encounter: ``graph [ directed 0 node [ id .. label .. ] edge [ source ..
+target .. weight? .. ] ]``.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from ..graph import Graph
+
+__all__ = ["read_gml", "write_gml"]
+
+_TOKEN = re.compile(r"\[|\]|\"[^\"]*\"|[^\s\[\]]+")
+
+
+def _tokenize(text: str) -> list[str]:
+    return _TOKEN.findall(text)
+
+
+def _parse_block(tokens: list[str], pos: int) -> tuple[dict, int]:
+    """Parse tokens after an opening '[' into a dict; lists collapse to last."""
+    out: dict[str, object] = {}
+    items: list[tuple[str, object]] = []
+    while pos < len(tokens):
+        tok = tokens[pos]
+        if tok == "]":
+            out["__items__"] = items
+            return out, pos + 1
+        key = tok
+        pos += 1
+        if pos >= len(tokens):
+            raise ValueError(f"GML: dangling key {key!r}")
+        if tokens[pos] == "[":
+            value, pos = _parse_block(tokens, pos + 1)
+        else:
+            raw = tokens[pos]
+            pos += 1
+            if raw.startswith('"'):
+                value = raw.strip('"')
+            else:
+                try:
+                    value = int(raw)
+                except ValueError:
+                    try:
+                        value = float(raw)
+                    except ValueError:
+                        value = raw
+        items.append((key, value))
+        out[key] = value
+    out["__items__"] = items
+    return out, pos
+
+
+def read_gml(path: str | os.PathLike) -> Graph:
+    """Parse a GML file into a :class:`Graph`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        tokens = _tokenize(handle.read())
+    if len(tokens) < 2 or tokens[0] != "graph" or tokens[1] != "[":
+        raise ValueError(f"{path}: expected 'graph [' header")
+    block, _ = _parse_block(tokens, 2)
+    items = block["__items__"]
+    directed = bool(block.get("directed", 0))
+    nodes = [v for k, v in items if k == "node"]
+    edges = [v for k, v in items if k == "edge"]
+    id_map: dict[int, int] = {}
+    for i, node in enumerate(nodes):
+        if "id" not in node:
+            raise ValueError(f"{path}: node without id")
+        id_map[int(node["id"])] = i
+    weighted = any("weight" in e for e in edges)
+    g = Graph(len(nodes), weighted=weighted, directed=directed)
+    for e in edges:
+        u = id_map[int(e["source"])]
+        v = id_map[int(e["target"])]
+        w = float(e.get("weight", 1.0))
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v, w)
+    return g
+
+
+def write_gml(g: Graph, path: str | os.PathLike) -> None:
+    """Write a :class:`Graph` as GML."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("graph [\n")
+        handle.write(f"  directed {int(g.directed)}\n")
+        for u in g.iter_nodes():
+            handle.write(f"  node [\n    id {u}\n    label \"{u}\"\n  ]\n")
+        for u, v, w in g.iter_weighted_edges():
+            handle.write(f"  edge [\n    source {u}\n    target {v}\n")
+            if g.weighted:
+                handle.write(f"    weight {w}\n")
+            handle.write("  ]\n")
+        handle.write("]\n")

@@ -1,0 +1,79 @@
+"""METIS graph format reader/writer.
+
+The format of the paper's Listing 1 (``nk.readGraph("karate.graph",
+nk.Format.METIS)``): a header line ``n m [fmt]`` followed by one line per
+node listing its (1-based) neighbours, optionally with edge weights when
+``fmt`` ends in 1.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..graph import Graph
+
+__all__ = ["read_metis", "write_metis"]
+
+
+def read_metis(path: str | os.PathLike) -> Graph:
+    """Parse a METIS file into an undirected :class:`Graph`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [
+            line.strip()
+            for line in handle
+            if line.strip() and not line.lstrip().startswith("%")
+        ]
+    if not lines:
+        raise ValueError(f"{path}: empty METIS file")
+    header = lines[0].split()
+    if len(header) < 2:
+        raise ValueError(f"{path}: METIS header needs 'n m', got {lines[0]!r}")
+    n, m = int(header[0]), int(header[1])
+    fmt = header[2] if len(header) > 2 else "0"
+    has_edge_weights = fmt.endswith("1") and fmt != "0"
+    has_node_weights = len(fmt) >= 2 and fmt[-2] == "1"
+    if len(lines) - 1 != n:
+        raise ValueError(
+            f"{path}: header declares {n} nodes but file has {len(lines) - 1} "
+            "adjacency lines"
+        )
+    g = Graph(n, weighted=has_edge_weights)
+    for u, line in enumerate(lines[1:]):
+        fields = line.split()
+        idx = 1 if has_node_weights else 0  # skip node weight field
+        step = 2 if has_edge_weights else 1
+        while idx < len(fields):
+            v = int(fields[idx]) - 1  # METIS is 1-based
+            if not 0 <= v < n:
+                raise ValueError(f"{path}: neighbour {v + 1} out of range")
+            w = float(fields[idx + 1]) if has_edge_weights else 1.0
+            if u != v and not g.has_edge(u, v):
+                g.add_edge(u, v, w)
+            idx += step
+    if g.number_of_edges() != m:
+        raise ValueError(
+            f"{path}: header declares {m} edges, parsed {g.number_of_edges()}"
+        )
+    return g
+
+
+def write_metis(g: Graph, path: str | os.PathLike) -> None:
+    """Write an undirected graph in METIS format."""
+    if g.directed:
+        raise ValueError("METIS format stores undirected graphs")
+    fmt = "001" if g.weighted else "0"
+    with open(path, "w", encoding="utf-8") as handle:
+        header = f"{g.number_of_nodes()} {g.number_of_edges()}"
+        if g.weighted:
+            header += f" {fmt}"
+        handle.write(header + "\n")
+        for u in g.iter_nodes():
+            parts = []
+            for v in sorted(g.neighbors(u)):
+                parts.append(str(v + 1))
+                if g.weighted:
+                    weight = g.weight(u, v)
+                    parts.append(
+                        str(int(weight)) if weight == int(weight) else str(weight)
+                    )
+            handle.write(" ".join(parts) + "\n")

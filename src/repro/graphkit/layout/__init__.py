@@ -1,0 +1,13 @@
+"""Graph drawing algorithms (NetworKit ``viz`` module analog)."""
+
+from .fruchterman_reingold import FruchtermanReingold, fruchterman_reingold_layout
+from .maxent_stress import MaxentStress, maxent_stress_layout
+from .spectral import spectral_layout
+
+__all__ = [
+    "MaxentStress",
+    "maxent_stress_layout",
+    "FruchtermanReingold",
+    "fruchterman_reingold_layout",
+    "spectral_layout",
+]

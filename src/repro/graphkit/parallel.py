@@ -1,0 +1,131 @@
+"""Shared-memory parallel utilities — the OpenMP stand-in.
+
+NetworKit parallelizes per-source loops (Brandes, closeness BFS sweeps,
+Louvain move phases) with OpenMP ``parallel for``.  In pure Python we expose
+the same decomposition through :func:`parallel_map`: the iteration space is
+split into deterministic contiguous chunks (mirroring OpenMP static
+scheduling and the mpi4py block decomposition from the HPC guides) and the
+chunks are executed on a thread pool.
+
+NumPy kernels release the GIL inside vectorized calls, so thread-level
+parallelism does help the array-heavy per-source kernels; nevertheless the
+default is sized by :func:`effective_threads` and everything degrades
+gracefully to serial execution when only one core is available (or when
+``REPRO_THREADS=1``).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = [
+    "effective_threads",
+    "chunk_ranges",
+    "parallel_map",
+    "parallel_for_chunks",
+    "set_num_threads",
+    "get_num_threads",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+_num_threads: int | None = None
+
+
+def effective_threads() -> int:
+    """Number of worker threads to use by default.
+
+    Resolution order: :func:`set_num_threads` value, ``REPRO_THREADS``
+    environment variable, then ``os.cpu_count()``.
+    """
+    if _num_threads is not None:
+        return _num_threads
+    env = os.environ.get("REPRO_THREADS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+def set_num_threads(n: int | None) -> None:
+    """Set (or with ``None`` reset) the global worker-thread count.
+
+    Mirrors ``networkit.setNumberOfThreads``.
+    """
+    global _num_threads
+    if n is not None and n < 1:
+        raise ValueError(f"thread count must be >= 1, got {n}")
+    _num_threads = n
+
+
+def get_num_threads() -> int:
+    """Current effective worker-thread count (NetworKit naming analog)."""
+    return effective_threads()
+
+
+def chunk_ranges(total: int, chunks: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into ``chunks`` contiguous [start, stop) spans.
+
+    Uses the balanced block decomposition (first ``total % chunks`` spans get
+    one extra element) — identical maths to the classic MPI block
+    distribution, so chunk boundaries are deterministic for any input.
+    """
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if chunks < 1:
+        raise ValueError(f"chunks must be >= 1, got {chunks}")
+    chunks = min(chunks, max(total, 1))
+    base, extra = divmod(total, chunks)
+    spans = []
+    start = 0
+    for i in range(chunks):
+        size = base + (1 if i < extra else 0)
+        spans.append((start, start + size))
+        start += size
+    return spans
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    threads: int | None = None,
+) -> list[R]:
+    """Apply ``fn`` to every item, preserving order.
+
+    Serial when ``threads == 1`` (no pool overhead); otherwise executed on a
+    thread pool. ``fn`` must be thread-safe (the per-source centrality
+    kernels write to pre-allocated disjoint output slots).
+    """
+    threads = effective_threads() if threads is None else max(1, threads)
+    if threads == 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        return list(pool.map(fn, items))
+
+
+def parallel_for_chunks(
+    fn: Callable[[int, int], None],
+    total: int,
+    *,
+    threads: int | None = None,
+) -> None:
+    """Run ``fn(start, stop)`` over a static block decomposition of ``total``.
+
+    The callable is expected to write results into pre-allocated shared
+    arrays (disjoint slices per chunk), matching the OpenMP
+    ``parallel for`` + shared-output idiom.
+    """
+    threads = effective_threads() if threads is None else max(1, threads)
+    spans = chunk_ranges(total, threads)
+    if threads == 1 or len(spans) <= 1:
+        for start, stop in spans:
+            fn(start, stop)
+        return
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        list(pool.map(lambda span: fn(*span), spans))

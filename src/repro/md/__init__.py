@@ -1,0 +1,54 @@
+"""repro.md — molecular-dynamics substrate.
+
+Synthetic protein structures (:mod:`~repro.md.proteins` provides the
+paper's three benchmark fast folders), an Ornstein-Uhlenbeck trajectory
+simulator (:mod:`~repro.md.dynamics`), trajectory containers and IO, and
+the vectorized residue-distance kernels that translate structures into
+RINs (:mod:`~repro.md.distances`).
+"""
+
+from . import proteins
+from .builder import SegmentPlacement, StructureBuilder, build_ca_trace, build_structure
+from .distances import (
+    CRITERIA,
+    ca_distance_matrix,
+    com_distance_matrix,
+    contact_pairs,
+    min_distance_matrix,
+    residue_distance_matrix,
+)
+from .dynamics import TrajectoryGenerator, generate_trajectory
+from .io_pdb import read_pdb, write_pdb
+from .io_xyz import read_xyz, write_xyz
+from .secondary import assign_secondary_structure, helix_content
+from .topology import AMINO_ACIDS, AminoAcid, Atom, Residue, SecondaryStructure, Topology
+from .trajectory import Trajectory
+
+__all__ = [
+    "proteins",
+    "Topology",
+    "Residue",
+    "Atom",
+    "AminoAcid",
+    "AMINO_ACIDS",
+    "SecondaryStructure",
+    "Trajectory",
+    "TrajectoryGenerator",
+    "generate_trajectory",
+    "StructureBuilder",
+    "SegmentPlacement",
+    "build_ca_trace",
+    "build_structure",
+    "CRITERIA",
+    "ca_distance_matrix",
+    "com_distance_matrix",
+    "min_distance_matrix",
+    "residue_distance_matrix",
+    "contact_pairs",
+    "read_pdb",
+    "write_pdb",
+    "read_xyz",
+    "write_xyz",
+    "assign_secondary_structure",
+    "helix_content",
+]

@@ -1,0 +1,36 @@
+"""Element data for the pseudo-atom protein model.
+
+Masses in Dalton, van-der-Waals radii in Ångström — only the elements that
+occur in protein heavy atoms plus hydrogen (not modelled explicitly; the
+paper's RIN pipelines also operate on heavy atoms).
+"""
+
+from __future__ import annotations
+
+__all__ = ["ATOMIC_MASS", "VDW_RADIUS", "mass_of", "vdw_radius_of"]
+
+ATOMIC_MASS: dict[str, float] = {
+    "H": 1.008,
+    "C": 12.011,
+    "N": 14.007,
+    "O": 15.999,
+    "S": 32.06,
+}
+
+VDW_RADIUS: dict[str, float] = {
+    "H": 1.20,
+    "C": 1.70,
+    "N": 1.55,
+    "O": 1.52,
+    "S": 1.80,
+}
+
+
+def mass_of(element: str) -> float:
+    """Atomic mass (Da); raises KeyError for unknown elements."""
+    return ATOMIC_MASS[element.upper()]
+
+
+def vdw_radius_of(element: str) -> float:
+    """Van-der-Waals radius (Å); raises KeyError for unknown elements."""
+    return VDW_RADIUS[element.upper()]

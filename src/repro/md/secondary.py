@@ -1,0 +1,78 @@
+"""Geometric secondary-structure assignment (DSSP-lite).
+
+Assigns H/E/C per residue from C-alpha geometry alone, using the classic
+virtual-bond signature: in an α-helix the i→i+3 C-alpha distance sits
+near 5.0–6.2 Å and the local chain is tightly wound; in a β-strand the
+chain is nearly extended (i→i+2 distance close to 2 × 3.3 Å).
+
+This is the inverse of the structure builder: given only coordinates
+(e.g. a trajectory frame of unknown annotation), recover the secondary
+structure string — used to check whether an unfolding frame has *lost*
+its helices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .topology import SecondaryStructure, Topology
+
+__all__ = ["assign_secondary_structure", "helix_content"]
+
+# Ideal-geometry windows (Å), loose enough for thermal noise.
+_HELIX_D13 = (4.6, 6.4)  # i..i+3 distance in an α-helix
+_HELIX_D12 = (5.0, 6.6)  # i..i+2 distance in an α-helix
+_STRAND_D12 = (6.0, 7.4)  # i..i+2 distance in an extended strand
+
+
+def assign_secondary_structure(
+    topology: Topology, frame: np.ndarray, *, min_run: int = 3
+) -> str:
+    """Per-residue H/E/C assignment from one coordinate frame.
+
+    Parameters
+    ----------
+    topology / frame:
+        The protein and one ``(n_atoms, 3)`` frame.
+    min_run:
+        Minimum consecutive residues for a structured segment; shorter
+        runs are demoted to coil (removes single-residue noise).
+    """
+    ca = frame[topology.ca_indices()]
+    n = len(ca)
+    codes = [SecondaryStructure.COIL] * n
+    if n >= 4:
+        d12 = np.linalg.norm(ca[2:] - ca[:-2], axis=1)  # i to i+2
+        d13 = np.linalg.norm(ca[3:] - ca[:-3], axis=1)  # i to i+3
+        for i in range(n - 3):
+            helixish = (
+                _HELIX_D13[0] <= d13[i] <= _HELIX_D13[1]
+                and _HELIX_D12[0] <= d12[i] <= _HELIX_D12[1]
+            )
+            strandish = _STRAND_D12[0] <= d12[i] <= _STRAND_D12[1]
+            if helixish:
+                for j in range(i, min(i + 4, n)):
+                    codes[j] = SecondaryStructure.HELIX
+            elif strandish and codes[i] == SecondaryStructure.COIL:
+                for j in range(i, min(i + 3, n)):
+                    if codes[j] == SecondaryStructure.COIL:
+                        codes[j] = SecondaryStructure.STRAND
+    # Demote runs shorter than min_run.
+    out = codes[:]
+    start = 0
+    for i in range(1, n + 1):
+        if i == n or codes[i] != codes[start]:
+            if codes[start] != SecondaryStructure.COIL and i - start < min_run:
+                for j in range(start, i):
+                    out[j] = SecondaryStructure.COIL
+            start = i
+    return "".join(out)
+
+
+def helix_content(topology: Topology, frame: np.ndarray) -> float:
+    """Fraction of residues assigned helix — the classic folding order
+    parameter (≈ native value when folded, drops on unfolding)."""
+    assigned = assign_secondary_structure(topology, frame)
+    if not assigned:
+        return 0.0
+    return assigned.count(SecondaryStructure.HELIX) / len(assigned)

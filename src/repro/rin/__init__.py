@@ -1,0 +1,57 @@
+"""repro.rin — residue interaction network construction & analysis.
+
+The glue between the MD substrate and the network-analysis substrate:
+build RINs from structure frames (:func:`build_rin`), update them
+incrementally as the widget's sliders move (:class:`DynamicRIN`), compute
+the widget's seven graph measures (:mod:`~repro.rin.measures`) and run the
+domain analyses of paper §IV (:mod:`~repro.rin.analysis`).
+"""
+
+from .analysis import (
+    StructureOverlap,
+    community_structure_overlap,
+    hubs,
+    top_central_residues,
+)
+from .construction import RINBuilder, build_rin
+from .criteria import DEFAULT_CUTOFFS, DistanceCriterion
+from .dynamic import DynamicRIN, EdgeUpdate
+from .measures import (
+    MEASURES,
+    PAPER_MEASURES,
+    GraphMeasure,
+    get_measure,
+    measure_names,
+    register_measure,
+)
+from .scanning import CutoffScan, criterion_comparison, cutoff_scan
+from .timeseries import (
+    MeasureSeries,
+    measure_over_trajectory,
+    topology_over_trajectory,
+)
+
+__all__ = [
+    "build_rin",
+    "RINBuilder",
+    "DynamicRIN",
+    "EdgeUpdate",
+    "DistanceCriterion",
+    "DEFAULT_CUTOFFS",
+    "GraphMeasure",
+    "MEASURES",
+    "PAPER_MEASURES",
+    "get_measure",
+    "measure_names",
+    "register_measure",
+    "hubs",
+    "top_central_residues",
+    "community_structure_overlap",
+    "StructureOverlap",
+    "MeasureSeries",
+    "measure_over_trajectory",
+    "topology_over_trajectory",
+    "CutoffScan",
+    "cutoff_scan",
+    "criterion_comparison",
+]

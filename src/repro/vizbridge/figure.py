@@ -1,0 +1,182 @@
+"""FigureWidget — the headless ``plotly.graph_objects.FigureWidget`` analog.
+
+Paper §V-A: "each chart in Plotly is represented by a
+``plotly.graph_objects.FigureWidget``, which is a custom ipywidget usable
+for embedding in more complex GUIs. One or more data sets can be added to
+the widget by calling ``add_traces()``."
+
+This class mirrors that surface: ``add_traces``, a ``layout``, in-place
+trace mutation with change notification (observers), and plotly-schema
+serialization. It additionally tracks *DOM update statistics* so the
+client-side cost simulator can price every mutation the way a browser
+would (full rebuilds vs. partial restyles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .traces import Scatter, Scatter3d
+
+__all__ = ["Layout", "FigureWidget", "UpdateStats"]
+
+
+class Layout:
+    """Figure layout: title, axis visibility, camera, size."""
+
+    def __init__(
+        self,
+        title: str = "",
+        width: int = 700,
+        height: int = 600,
+        showlegend: bool = False,
+        scene: dict[str, Any] | None = None,
+    ):
+        if width < 1 or height < 1:
+            raise ValueError("figure dimensions must be positive")
+        self.title = title
+        self.width = width
+        self.height = height
+        self.showlegend = showlegend
+        # Default scene: hidden axes, equal aspect — the paper's style for
+        # structure plots.
+        self.scene = scene or {
+            "xaxis": {"visible": False},
+            "yaxis": {"visible": False},
+            "zaxis": {"visible": False},
+            "aspectmode": "data",
+            "camera": {"eye": {"x": 1.4, "y": 1.4, "z": 1.0}},
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "title": {"text": self.title},
+            "width": self.width,
+            "height": self.height,
+            "showlegend": self.showlegend,
+            "scene": self.scene,
+        }
+
+
+@dataclass
+class UpdateStats:
+    """Accumulated mutation counters since the last :meth:`reset`."""
+
+    nodes_restyled: int = 0  # per-point color/text updates
+    nodes_moved: int = 0  # per-point position updates
+    edges_moved: int = 0  # per-segment position updates
+    trace_rebuilds: int = 0  # whole-trace replacements
+    elements_rebuilt: int = 0  # DOM elements recreated by rebuilds
+
+    def reset(self) -> None:
+        self.nodes_restyled = 0
+        self.nodes_moved = 0
+        self.edges_moved = 0
+        self.trace_rebuilds = 0
+        self.elements_rebuilt = 0
+
+    def merged(self, other: "UpdateStats") -> "UpdateStats":
+        return UpdateStats(
+            self.nodes_restyled + other.nodes_restyled,
+            self.nodes_moved + other.nodes_moved,
+            self.edges_moved + other.edges_moved,
+            self.trace_rebuilds + other.trace_rebuilds,
+            self.elements_rebuilt + other.elements_rebuilt,
+        )
+
+
+class FigureWidget:
+    """A figure holding traces, with mutation tracking and observers."""
+
+    def __init__(self, layout: Layout | None = None):
+        self.layout = layout or Layout()
+        self._traces: list[Scatter3d | Scatter] = []
+        self._observers: list[Callable[[str], None]] = []
+        self.stats = UpdateStats()
+
+    # ------------------------------------------------------------------
+    def add_traces(self, *traces: Scatter3d | Scatter) -> "FigureWidget":
+        """Append traces (paper Listing 1, line 12)."""
+        for t in traces:
+            if not isinstance(t, (Scatter3d, Scatter)):
+                raise TypeError(f"expected a trace object, got {type(t)!r}")
+            self._traces.append(t)
+        self._notify("add_traces")
+        return self
+
+    @property
+    def data(self) -> tuple:
+        """The trace tuple (plotly naming)."""
+        return tuple(self._traces)
+
+    def trace(self, index: int) -> Scatter3d | Scatter:
+        """Trace by index."""
+        return self._traces[index]
+
+    @property
+    def n_traces(self) -> int:
+        """Number of traces."""
+        return len(self._traces)
+
+    def n_elements(self) -> int:
+        """Total rendered element estimate across traces."""
+        return sum(t.n_elements() for t in self._traces)
+
+    # ------------------------------------------------------------------
+    # tracked mutations (what the widget's update pipeline calls)
+    # ------------------------------------------------------------------
+    def restyle_colors(self, index: int, colors) -> None:
+        """Recolor one trace's markers (a measure switch)."""
+        trace = self._traces[index]
+        trace.set_colors(colors)
+        self.stats.nodes_restyled += trace.n_points
+        self._notify("restyle")
+
+    def move_points(self, index: int, **coords) -> None:
+        """Move one trace's points (layout/frame update)."""
+        trace = self._traces[index]
+        trace.set_positions(**coords)
+        if "lines" in trace.mode:
+            self.stats.edges_moved += trace.n_elements()
+        else:
+            self.stats.nodes_moved += trace.n_points
+        self._notify("move")
+
+    def replace_trace(self, index: int, trace: Scatter3d | Scatter) -> None:
+        """Swap out a whole trace (full rebuild of that trace).
+
+        A rebuild recreates every rendered element, so it is accounted both
+        as a flat trace-rebuild overhead and per recreated element — this
+        is what makes frame switches (full rebuilds of both plots) cost
+        about twice a cut-off switch client-side, as in the paper.
+        """
+        if not isinstance(trace, (Scatter3d, Scatter)):
+            raise TypeError(f"expected a trace object, got {type(trace)!r}")
+        self._traces[index] = trace
+        self.stats.trace_rebuilds += 1
+        self.stats.elements_rebuilt += trace.n_elements()
+        self._notify("replace")
+
+    # ------------------------------------------------------------------
+    def observe(self, callback: Callable[[str], None]) -> None:
+        """Register a mutation observer (ipywidgets-style)."""
+        self._observers.append(callback)
+
+    def _notify(self, kind: str) -> None:
+        for cb in self._observers:
+            cb(kind)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Plotly-schema figure dict (feedable to real plotly)."""
+        return {
+            "data": [t.to_dict() for t in self._traces],
+            "layout": self.layout.to_dict(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FigureWidget(traces={len(self._traces)}, "
+            f"elements={self.n_elements()})"
+        )

@@ -1,0 +1,124 @@
+"""Gephi graph-streaming protocol (paper §V-A).
+
+NetworKit 3.2 added "a streaming client for Gephi". Gephi's streaming
+plugin speaks a JSON event protocol: one object per line with keys
+``an`` (add node), ``cn`` (change node), ``dn`` (delete node) and the
+edge analogues ``ae``/``ce``/``de``. We implement a producer
+(:class:`GephiStreamingClient`) and an in-memory consumer
+(:class:`GephiWorkspace`) so the adapter code path is exercised without a
+Java GUI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from ..graphkit.graph import Graph
+
+__all__ = ["GephiStreamingClient", "GephiWorkspace"]
+
+
+class GephiWorkspace:
+    """In-memory consumer applying streaming events to a mirror graph."""
+
+    def __init__(self):
+        self.nodes: dict[str, dict] = {}
+        self.edges: dict[str, dict] = {}
+
+    def apply(self, event_line: str) -> None:
+        """Apply one JSON event line."""
+        event = json.loads(event_line)
+        for op, payload in event.items():
+            if op == "an":
+                for nid, attrs in payload.items():
+                    self.nodes[nid] = dict(attrs)
+            elif op == "cn":
+                for nid, attrs in payload.items():
+                    if nid not in self.nodes:
+                        raise KeyError(f"cn for unknown node {nid}")
+                    self.nodes[nid].update(attrs)
+            elif op == "dn":
+                for nid in payload:
+                    self.nodes.pop(nid, None)
+            elif op == "ae":
+                for eid, attrs in payload.items():
+                    self.edges[eid] = dict(attrs)
+            elif op == "ce":
+                for eid, attrs in payload.items():
+                    if eid not in self.edges:
+                        raise KeyError(f"ce for unknown edge {eid}")
+                    self.edges[eid].update(attrs)
+            elif op == "de":
+                for eid in payload:
+                    self.edges.pop(eid, None)
+            else:
+                raise ValueError(f"unknown streaming op {op!r}")
+
+    def apply_all(self, lines: Iterable[str]) -> None:
+        """Apply a stream of event lines."""
+        for line in lines:
+            if line.strip():
+                self.apply(line)
+
+
+class GephiStreamingClient:
+    """Produces the event stream for a graph (+ updates).
+
+    Parameters
+    ----------
+    workspace:
+        Optional connected consumer; events are applied immediately —
+        mirroring NetworKit's client POSTing to a running Gephi instance.
+    """
+
+    def __init__(self, workspace: GephiWorkspace | None = None):
+        self._workspace = workspace
+        self.sent: list[str] = []
+
+    def _emit(self, event: dict) -> str:
+        line = json.dumps(event)
+        self.sent.append(line)
+        if self._workspace is not None:
+            self._workspace.apply(line)
+        return line
+
+    # ------------------------------------------------------------------
+    def export_graph(self, g: Graph, *, scores=None) -> list[str]:
+        """Stream a full graph (nodes first, then edges)."""
+        lines = []
+        for u in g.iter_nodes():
+            attrs: dict = {"label": str(u), "size": 10.0}
+            if scores is not None:
+                attrs["score"] = float(scores[u])
+            lines.append(self._emit({"an": {str(u): attrs}}))
+        for u, v in g.iter_edges():
+            eid = f"{u}-{v}"
+            lines.append(
+                self._emit(
+                    {"ae": {eid: {"source": str(u), "target": str(v),
+                                  "directed": g.directed}}}
+                )
+            )
+        return lines
+
+    def update_scores(self, scores) -> list[str]:
+        """Stream per-node score changes (e.g. after a measure switch)."""
+        return [
+            self._emit({"cn": {str(u): {"score": float(s)}}})
+            for u, s in enumerate(scores)
+        ]
+
+    def remove_edges(self, edges: Iterable[tuple[int, int]]) -> list[str]:
+        """Stream edge deletions (cut-off decrease)."""
+        return [self._emit({"de": [f"{u}-{v}"]}) for u, v in edges]
+
+    def add_edges(self, edges: Iterable[tuple[int, int]]) -> list[str]:
+        """Stream edge additions (cut-off increase)."""
+        return [
+            self._emit(
+                {"ae": {f"{u}-{v}": {"source": str(u), "target": str(v),
+                                     "directed": False}}}
+            )
+            for u, v in edges
+        ]

@@ -1,0 +1,30 @@
+"""Figure serialization helpers (plotly-schema JSON)."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .figure import FigureWidget
+
+__all__ = ["figure_to_json", "figure_from_dict_roundtrip", "estimate_payload_bytes"]
+
+
+def figure_to_json(fig: FigureWidget, *, indent: int | None = None) -> str:
+    """Serialize a figure to a plotly-compatible JSON string."""
+    return json.dumps(fig.to_dict(), indent=indent)
+
+
+def figure_from_dict_roundtrip(fig: FigureWidget) -> dict[str, Any]:
+    """JSON round-trip (validates everything is JSON-serializable)."""
+    return json.loads(figure_to_json(fig))
+
+
+def estimate_payload_bytes(fig: FigureWidget) -> int:
+    """Bytes the server would ship to the notebook client for this figure.
+
+    This is the quantity the paper's cloud architecture moves over the
+    wire on every widget update; the client simulator uses it to model
+    transfer latency.
+    """
+    return len(figure_to_json(fig).encode("utf-8"))

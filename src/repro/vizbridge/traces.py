@@ -1,0 +1,183 @@
+"""Plotly-compatible trace objects (headless).
+
+Dependency-free stand-ins for ``plotly.graph_objects.Scatter3d`` /
+``Scatter`` that hold exactly the attributes the RIN widget uses and
+serialize to plotly-schema dicts (``to_dict()`` output can be fed to real
+plotly unchanged). Element counts drive the client DOM-cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+__all__ = ["Marker", "Line", "Scatter3d", "Scatter"]
+
+_MODES = ("markers", "lines", "markers+lines", "lines+markers", "text",
+          "markers+text")
+
+
+def _as_list(values: Sequence | np.ndarray | None) -> list | None:
+    if values is None:
+        return None
+    if isinstance(values, np.ndarray):
+        return values.tolist()
+    return list(values)
+
+
+class Marker:
+    """Marker styling: size, color (scalar or per-point), colorscale."""
+
+    def __init__(
+        self,
+        size: float | Sequence = 6.0,
+        color: str | Sequence | None = None,
+        colorscale: str | None = None,
+        showscale: bool = False,
+        opacity: float = 1.0,
+    ):
+        if not 0.0 <= opacity <= 1.0:
+            raise ValueError(f"opacity must be in [0, 1], got {opacity}")
+        self.size = size
+        self.color = color
+        self.colorscale = colorscale
+        self.showscale = showscale
+        self.opacity = opacity
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"size": self.size, "opacity": self.opacity}
+        if self.color is not None:
+            out["color"] = _as_list(self.color) if not isinstance(
+                self.color, str
+            ) else self.color
+        if self.colorscale is not None:
+            out["colorscale"] = self.colorscale
+        if self.showscale:
+            out["showscale"] = True
+        return out
+
+
+class Line:
+    """Line styling for edge traces."""
+
+    def __init__(self, width: float = 1.5, color: str = "#888888"):
+        if width < 0:
+            raise ValueError(f"width must be non-negative, got {width}")
+        self.width = width
+        self.color = color
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"width": self.width, "color": self.color}
+
+
+class _BaseScatter:
+    """Shared machinery of 2-D/3-D scatter traces."""
+
+    dims: tuple[str, ...] = ()
+    type_name: str = ""
+
+    def __init__(
+        self,
+        *,
+        mode: str = "markers",
+        name: str = "",
+        text: Sequence[str] | None = None,
+        hoverinfo: str = "text",
+        marker: Marker | None = None,
+        line: Line | None = None,
+        **coords,
+    ):
+        if mode not in _MODES:
+            raise ValueError(f"unknown mode {mode!r}; valid: {_MODES}")
+        lengths = set()
+        for d in self.dims:
+            values = _as_list(coords.get(d)) or []
+            setattr(self, d, values)
+            lengths.add(len(values))
+        if len(lengths) > 1:
+            raise ValueError(
+                f"coordinate arrays must share length, got {sorted(lengths)}"
+            )
+        self.mode = mode
+        self.name = name
+        self.text = _as_list(text)
+        if self.text is not None and lengths and self.text and len(
+            self.text
+        ) != next(iter(lengths)):
+            raise ValueError("text must match coordinate length")
+        self.hoverinfo = hoverinfo
+        self.marker = marker or Marker()
+        self.line = line or Line()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_points(self) -> int:
+        """Number of data points (including None line-break separators)."""
+        return len(getattr(self, self.dims[0]))
+
+    def n_elements(self) -> int:
+        """Rendered DOM/WebGL element estimate.
+
+        Marker modes render one element per point; line modes render one
+        per segment (None separators break segments, plotly-style).
+        """
+        pts = getattr(self, self.dims[0])
+        if "lines" in self.mode:
+            segments = 0
+            previous_real = False
+            for value in pts:
+                if value is None:
+                    previous_real = False
+                    continue
+                if previous_real:
+                    segments += 1
+                previous_real = True
+            return segments
+        return sum(1 for v in pts if v is not None)
+
+    def set_positions(self, **coords) -> None:
+        """Replace coordinate arrays in place (widget position updates)."""
+        for d, values in coords.items():
+            if d not in self.dims:
+                raise ValueError(f"trace has no dimension {d!r}")
+            setattr(self, d, _as_list(values))
+
+    def set_colors(self, colors: Sequence) -> None:
+        """Replace per-point marker colors (widget recolor updates)."""
+        self.marker.color = _as_list(colors)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"type": self.type_name, "mode": self.mode}
+        for d in self.dims:
+            out[d] = getattr(self, d)
+        if self.name:
+            out["name"] = self.name
+        if self.text is not None:
+            out["text"] = self.text
+        out["hoverinfo"] = self.hoverinfo
+        if "markers" in self.mode:
+            out["marker"] = self.marker.to_dict()
+        if "lines" in self.mode:
+            out["line"] = self.line.to_dict()
+        return out
+
+
+class Scatter3d(_BaseScatter):
+    """3-D scatter/line trace (``plotly.graph_objects.Scatter3d`` analog)."""
+
+    dims = ("x", "y", "z")
+    type_name = "scatter3d"
+
+    def __init__(self, x=None, y=None, z=None, **kwargs):
+        super().__init__(x=x, y=y, z=z, **kwargs)
+
+
+class Scatter(_BaseScatter):
+    """2-D scatter/line trace (``plotly.graph_objects.Scatter`` analog)."""
+
+    dims = ("x", "y")
+    type_name = "scatter"
+
+    def __init__(self, x=None, y=None, **kwargs):
+        super().__init__(x=x, y=y, **kwargs)

@@ -1,0 +1,125 @@
+"""Unit tests for the benchmark harness (quick configurations)."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    FIG4_GRAPH_SIZE,
+    fig4_graph,
+    format_paper_comparison,
+    format_table,
+    layout_scale_graph,
+    make_pipeline,
+    protein_trajectory,
+    run_cloud_stability,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+)
+
+
+class TestWorkloads:
+    def test_trajectory_cached(self):
+        a = protein_trajectory("2JOF", 8)
+        b = protein_trajectory("2JOF", 8)
+        assert a is b
+
+    def test_fig4_graph_size(self):
+        g = fig4_graph()
+        assert g.number_of_nodes() == FIG4_GRAPH_SIZE
+        assert abs(g.number_of_edges() - 6594) <= 66
+
+    def test_layout_scale_graph_sparse(self):
+        g = layout_scale_graph(2000)
+        mean_degree = 2 * g.number_of_edges() / 2000
+        assert mean_degree < 6
+
+    def test_make_pipeline(self):
+        pipeline = make_pipeline("2JOF", 4.5)
+        assert pipeline.rin.graph.number_of_nodes() == 20
+
+
+class TestReporting:
+    def test_format_table(self):
+        text = format_table(["a", "bb"], [[1, 2], [30, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        text = format_table(["x"], [])
+        assert "x" in text
+
+    def test_paper_comparison(self):
+        line = format_paper_comparison("edge update", 2.0, 1.0)
+        assert "2.00" in line and "ratio 2.00x" in line
+        assert "no paper reference" in format_paper_comparison("x", 1.0, None)
+
+
+class TestFigureRunners:
+    def test_fig3(self):
+        result = run_fig3()
+        assert result.nodes == 73
+        assert result.n_helices == 3
+        assert 0 <= result.nmi <= 1
+        assert "Figure 3" in result.table()
+
+    def test_fig4_quick(self):
+        result = run_fig4(sizes=(500,))
+        assert len(result.rows) == 1
+        assert result.rows[0].total_seconds > 0
+        assert "Figure 4" in result.table()
+
+    def test_fig5(self):
+        info = run_fig5(protein="2JOF")
+        assert info["nodes"] == 20
+        assert len(info["plots"]) == 2
+
+    def test_fig6_quick(self):
+        result = run_fig6(proteins=("2JOF",), cutoffs=(3.0,), repeats=1)
+        assert len(result.rows) == 7  # the seven paper measures
+        cell = result.cell("2JOF", "Degree Centrality", 3.0)
+        assert cell.total_ms > cell.networkit_ms
+        with pytest.raises(KeyError):
+            result.cell("2JOF", "Nope", 3.0)
+
+    def test_fig7_quick(self):
+        result = run_fig7(proteins=("2JOF",), cutoffs=(3.0, 6.0, 10.0))
+        assert len(result.rows) == 3
+        edges = [r.edges for r in result.rows]
+        assert edges == sorted(edges)  # monotone in cutoff
+
+    def test_fig8_quick(self):
+        result = run_fig8(proteins=("2JOF",), cutoffs=(3.0,), frames=3)
+        assert len(result.rows) == 1
+        assert result.rows[0].total_ms > 0
+
+    def test_cloud_quick(self):
+        result = run_cloud_stability((1, 2), workers=2)
+        assert len(result.rows) == 2
+        assert result.rows[0].pods_running == 1
+        assert result.rows[1].pods_running == 2
+
+
+class TestShapeProperties:
+    """The DESIGN.md §4 shape requirements, verified at test speed."""
+
+    def test_degree_cheaper_than_betweenness(self):
+        result = run_fig6(proteins=("NTL9",), cutoffs=(10.0,), repeats=2)
+        deg = result.cell("NTL9", "Degree Centrality", 10.0).networkit_ms
+        bet = result.cell("NTL9", "Betweenness Centrality", 10.0).networkit_ms
+        assert deg < bet
+
+    def test_layout_dominates_cutoff_switch(self):
+        result = run_fig7(proteins=("2JOF",), cutoffs=(4.0, 8.0))
+        for row in result.rows:
+            assert row.layout_ms > row.edge_update_ms
+
+    def test_fig8_totals_exceed_networkit(self):
+        result = run_fig8(proteins=("2JOF",), cutoffs=(3.0,), frames=3)
+        for row in result.rows:
+            assert row.total_ms > row.networkit_ms

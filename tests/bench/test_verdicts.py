@@ -1,0 +1,55 @@
+"""Unit tests for the reproduction-verdict engine."""
+
+import pytest
+
+from repro.bench import Verdict, run_verdicts, verdict_table
+from repro.bench.verdicts import VERDICT_CHECKS
+
+
+class TestVerdictEngine:
+    def test_registry_covers_every_benchmarked_figure(self):
+        sources = set(VERDICT_CHECKS)
+        assert {"fig3-communities", "fig4-50k", "fig6-ordering",
+                "fig7-layout-dominates", "fig8-frame-vs-cutoff",
+                "cloud-stability"} <= sources
+
+    def test_unknown_verdict_rejected(self):
+        with pytest.raises(KeyError):
+            run_verdicts(only=["fig99-imaginary"])
+
+    def test_fig6_ordering_verdict(self):
+        (v,) = run_verdicts(quick=True, only=["fig6-ordering"])
+        assert isinstance(v, Verdict)
+        assert v.source == "Figure 6 a/b"
+        assert v.holds
+        assert "deg" in v.evidence
+
+    def test_fig6_client_dominated_verdict(self):
+        (v,) = run_verdicts(quick=True, only=["fig6-client-dominated"])
+        assert v.holds
+
+    def test_fig7_verdict(self):
+        (v,) = run_verdicts(quick=True, only=["fig7-layout-dominates"])
+        assert v.holds
+
+    def test_fig8_verdict(self):
+        (v,) = run_verdicts(quick=True, only=["fig8-frame-vs-cutoff"])
+        assert v.holds
+
+    def test_fig3_verdict(self):
+        (v,) = run_verdicts(quick=True, only=["fig3-communities"])
+        assert v.holds
+        assert "NMI" in v.evidence
+
+    def test_cloud_verdict(self):
+        (v,) = run_verdicts(quick=True, only=["cloud-stability"])
+        assert v.holds
+
+    def test_table_rendering(self):
+        verdicts = [
+            Verdict("claim A", "Fig. 1", True, "42"),
+            Verdict("claim B", "Fig. 2", False, "7"),
+        ]
+        text = verdict_table(verdicts)
+        assert "PASS" in text and "FAIL" in text
+        assert "claim A" in text

@@ -1,0 +1,236 @@
+"""Unit tests for the cluster, scheduler and Kubernetes objects."""
+
+import pytest
+
+from repro.cloud import (
+    Cluster,
+    ForbiddenError,
+    Node,
+    NodeRole,
+    PersistentVolume,
+    PersistentVolumeClaim,
+    Pod,
+    PodPhase,
+    RBACRule,
+    Resources,
+    Route,
+    Service,
+    ServiceAccount,
+    build_paper_cluster,
+)
+
+
+def make_pod(name="p1", ns="default", cpu=1.0, mem=1.0, labels=None):
+    return Pod(
+        name=name,
+        namespace=ns,
+        image="img",
+        requests=Resources.cores(cpu, mem),
+        limits=Resources.cores(cpu * 2, mem * 2),
+        labels=labels or {},
+    )
+
+
+@pytest.fixture
+def cluster():
+    c = build_paper_cluster(workers=2)
+    c.create_namespace("default")
+    return c
+
+
+class TestTopology:
+    def test_figure1_layout(self):
+        c = build_paper_cluster(workers=3)
+        roles = [n.role for n in c.nodes.values()]
+        assert roles.count(NodeRole.MASTER) == 3
+        assert roles.count(NodeRole.WORKER) == 3
+        assert roles.count(NodeRole.SERVICE) == 1
+        assert roles.count(NodeRole.GATEWAY) == 1
+
+    def test_control_node_sizing(self):
+        # §III-A: masters/service >= 4 CPUs, 16 GB.
+        c = build_paper_cluster()
+        for node in c.masters():
+            assert node.capacity.cpu_milli >= 4000
+            assert node.capacity.memory_mib >= 16_000
+
+    def test_needs_workers(self):
+        with pytest.raises(ValueError):
+            build_paper_cluster(workers=0)
+
+    def test_duplicate_node_rejected(self):
+        node = Node("x", NodeRole.WORKER, Resources.cores(1, 1))
+        with pytest.raises(ValueError):
+            Cluster([node, Node("x", NodeRole.WORKER, Resources.cores(1, 1))])
+
+
+class TestControlPlaneQuorum:
+    def test_available_initially(self, cluster):
+        assert cluster.control_plane_available()
+
+    def test_survives_one_master_failure(self, cluster):
+        cluster.fail_node("master-0")
+        assert cluster.control_plane_available()
+        cluster.create_namespace("still-works")
+
+    def test_loses_quorum_at_two_failures(self, cluster):
+        cluster.fail_node("master-0")
+        cluster.fail_node("master-1")
+        assert not cluster.control_plane_available()
+        with pytest.raises(RuntimeError):
+            cluster.create_namespace("nope")
+
+    def test_recovery_restores_quorum(self, cluster):
+        cluster.fail_node("master-0")
+        cluster.fail_node("master-1")
+        cluster.recover_node("master-0")
+        assert cluster.control_plane_available()
+
+
+class TestScheduling:
+    def test_pod_scheduled_and_started(self, cluster):
+        pod = cluster.create_pod(make_pod())
+        assert pod.node is not None
+        assert pod.phase is PodPhase.PENDING
+        cluster.clock.advance(cluster.pod_startup_seconds + 1)
+        assert pod.phase is PodPhase.RUNNING
+
+    def test_only_workers_host_pods(self, cluster):
+        pod = cluster.create_pod(make_pod())
+        assert cluster.nodes[pod.node].role is NodeRole.WORKER
+
+    def test_resources_allocated(self, cluster):
+        pod = cluster.create_pod(make_pod(cpu=4, mem=8))
+        node = cluster.nodes[pod.node]
+        assert node.allocated.cpu_milli >= 4000
+
+    def test_oversized_pod_stays_pending(self, cluster):
+        pod = cluster.create_pod(make_pod(cpu=999, mem=999))
+        assert pod.node is None
+        assert pod.phase is PodPhase.PENDING
+
+    def test_pending_pod_placed_when_capacity_frees(self, cluster):
+        # Fill both workers (32 cores each), then free one.
+        big = [make_pod(f"big-{i}", cpu=30, mem=30) for i in range(2)]
+        for p in big:
+            cluster.create_pod(p)
+        waiting = cluster.create_pod(make_pod("waiting", cpu=30, mem=30))
+        assert waiting.node is None
+        cluster.delete_pod("default", "big-0")
+        assert waiting.node is not None
+
+    def test_capacity_respected(self, cluster):
+        # Never allocate beyond a worker's capacity.
+        for i in range(6):
+            cluster.create_pod(make_pod(f"p{i}", cpu=12, mem=12))
+        for node in cluster.workers():
+            assert node.allocated.cpu_milli <= node.capacity.cpu_milli
+
+    def test_node_failure_reschedules(self, cluster):
+        pod = cluster.create_pod(make_pod())
+        cluster.clock.advance(30)
+        original = pod.node
+        cluster.fail_node(original)
+        assert pod.node != original
+        cluster.clock.advance(30)
+        assert pod.phase is PodPhase.RUNNING
+
+    def test_duplicate_pod_rejected(self, cluster):
+        cluster.create_pod(make_pod("dup"))
+        with pytest.raises(ValueError):
+            cluster.create_pod(make_pod("dup"))
+
+    def test_requests_exceed_limits_rejected(self):
+        with pytest.raises(ValueError):
+            Pod(
+                name="bad",
+                namespace="default",
+                image="img",
+                requests=Resources.cores(4, 4),
+                limits=Resources.cores(2, 2),
+            )
+
+
+class TestRBAC:
+    def test_allowed_actions(self, cluster):
+        sa = cluster.create_service_account(
+            "default",
+            ServiceAccount(
+                "robot", "default", rules=[RBACRule.of("pods", "create", "list")]
+            ),
+        )
+        cluster.create_pod(make_pod("sa-pod"), actor=sa)
+        assert len(cluster.list_pods("default", actor=sa)) == 1
+
+    def test_denied_verb(self, cluster):
+        sa = ServiceAccount(
+            "robot", "default", rules=[RBACRule.of("pods", "list")]
+        )
+        with pytest.raises(ForbiddenError):
+            cluster.create_pod(make_pod(), actor=sa)
+
+    def test_cross_namespace_denied(self, cluster):
+        cluster.create_namespace("other")
+        sa = ServiceAccount(
+            "robot", "other", rules=[RBACRule.of("pods", "create", "delete")]
+        )
+        with pytest.raises(ForbiddenError):
+            cluster.create_pod(make_pod(ns="default"), actor=sa)
+
+    def test_events_permission(self, cluster):
+        sa = ServiceAccount(
+            "watcher", "default", rules=[RBACRule.of("events", "get")]
+        )
+        cluster.create_pod(make_pod("observed"))
+        events = cluster.events_for("default/observed", actor=sa)
+        assert any(e.kind == "Scheduled" for e in events)
+        denied = ServiceAccount("blind", "default", rules=[])
+        with pytest.raises(ForbiddenError):
+            cluster.events_for("default/observed", actor=denied)
+
+
+class TestStorage:
+    def test_claim_binds_to_fitting_volume(self, cluster):
+        cluster.create_volume(PersistentVolume("small", capacity_mib=100))
+        cluster.create_volume(PersistentVolume("big", capacity_mib=4096))
+        claim = PersistentVolumeClaim("data", "default", request_mib=1024)
+        volume = cluster.bind_claim(claim)
+        assert volume.name == "big"
+        assert claim.bound
+
+    def test_no_fitting_volume(self, cluster):
+        cluster.create_volume(PersistentVolume("tiny", capacity_mib=10))
+        with pytest.raises(RuntimeError):
+            cluster.bind_claim(
+                PersistentVolumeClaim("data", "default", request_mib=1024)
+            )
+
+    def test_volume_not_double_bound(self, cluster):
+        cluster.create_volume(PersistentVolume("v", capacity_mib=2048))
+        cluster.bind_claim(PersistentVolumeClaim("a", "default", 100))
+        with pytest.raises(RuntimeError):
+            cluster.bind_claim(PersistentVolumeClaim("b", "default", 100))
+
+
+class TestServicesRoutes:
+    def test_service_selects_running_pods(self, cluster):
+        pod = cluster.create_pod(make_pod("web", labels={"app": "web"}))
+        svc = cluster.create_service(
+            Service("web-svc", "default", selector={"app": "web"})
+        )
+        assert cluster.pods_for_service(svc) == []  # still starting
+        cluster.clock.advance(30)
+        assert cluster.pods_for_service(svc) == [pod]
+
+    def test_route_requires_service(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.create_route(
+                Route("r", "default", "h.com", "/x", "missing-svc")
+            )
+
+    def test_route_prefix_matching(self):
+        r = Route("r", "ns", "h.com", "/app", "svc")
+        assert r.matches("h.com", "/app")
+        assert r.matches("h.com", "/app/sub/page")
+        assert not r.matches("h.com", "/application")
+        assert not r.matches("other.com", "/app")

@@ -1,0 +1,153 @@
+"""Unit tests for the gateway firewall and multi-namespace hubs."""
+
+import pytest
+
+from repro.cloud import (
+    AclAction,
+    AclRule,
+    EgressDenied,
+    Gateway,
+    HubConfig,
+    JupyterHub,
+    ServiceProxy,
+    build_paper_cluster,
+    default_research_acl,
+)
+
+
+@pytest.fixture
+def cluster():
+    return build_paper_cluster(workers=2)
+
+
+class TestAclRules:
+    def test_glob_host_match(self):
+        rule = AclRule(AclAction.ALLOW, "*.pypi.org")
+        assert rule.matches("files.pypi.org", 443)
+        assert not rule.matches("pypi.org.evil.com", 443)
+
+    def test_port_match(self):
+        rule = AclRule(AclAction.ALLOW, "*", 443)
+        assert rule.matches("x.com", 443)
+        assert not rule.matches("x.com", 80)
+
+    def test_any_port(self):
+        rule = AclRule(AclAction.DENY, "bad.com")
+        assert rule.matches("bad.com", 80)
+        assert rule.matches("bad.com", 9999)
+
+
+class TestGateway:
+    def test_default_deny(self, cluster):
+        gw = Gateway(cluster)
+        with pytest.raises(EgressDenied):
+            gw.egress("pod-a", "example.com")
+
+    def test_default_allow_mode(self, cluster):
+        gw = Gateway(cluster, default_allow=True)
+        record = gw.egress("pod-a", "example.com")
+        assert record.allowed
+
+    def test_first_match_wins(self, cluster):
+        gw = Gateway(
+            cluster,
+            rules=[
+                AclRule(AclAction.DENY, "blocked.pypi.org", comment="block"),
+                AclRule(AclAction.ALLOW, "*.pypi.org", comment="mirror"),
+            ],
+        )
+        with pytest.raises(EgressDenied):
+            gw.egress("pod", "blocked.pypi.org")
+        assert gw.egress("pod", "files.pypi.org").rule_comment == "mirror"
+
+    def test_prepend_rule(self, cluster):
+        gw = Gateway(cluster, rules=[AclRule(AclAction.ALLOW, "*")])
+        gw.add_rule(AclRule(AclAction.DENY, "evil.com"), prepend=True)
+        with pytest.raises(EgressDenied):
+            gw.egress("pod", "evil.com")
+
+    def test_research_acl(self, cluster):
+        gw = Gateway(cluster, rules=default_research_acl())
+        assert gw.egress("pod", "files.pypi.org", 443).allowed
+        assert gw.egress("pod", "www.rcsb.org", 443).allowed
+        with pytest.raises(EgressDenied):
+            gw.egress("pod", "www.rcsb.org", 80)  # wrong port
+        with pytest.raises(EgressDenied):
+            gw.egress("pod", "random.site")
+
+    def test_monitoring_log_records_denials(self, cluster):
+        gw = Gateway(cluster, rules=default_research_acl())
+        try:
+            gw.egress("jupyter-leon", "tracker.ads")
+        except EgressDenied:
+            pass
+        gw.egress("jupyter-leon", "conda.anaconda.org")
+        assert len(gw.log) == 2
+        denied = gw.denied_attempts()
+        assert len(denied) == 1
+        assert denied[0].source_pod == "jupyter-leon"
+
+    def test_gateway_node_down(self, cluster):
+        cluster.nodes["gateway-0"].ready = False
+        gw = Gateway(cluster, default_allow=True)
+        with pytest.raises(RuntimeError):
+            gw.egress("pod", "x.com")
+
+
+class TestMultiNamespace:
+    def test_two_hubs_side_by_side(self, cluster):
+        # §III-B: "another namespace with its own JupyterHub instance".
+        hub_a = JupyterHub(cluster)
+        hub_b = JupyterHub(
+            cluster,
+            namespace="proteomics-lab",
+            config=HubConfig(service_path="/proteomics"),
+        )
+        cluster.clock.advance(30)
+        assert "rin-exploration" in cluster.namespaces
+        assert "proteomics-lab" in cluster.namespaces
+        hub_a.register_user("ana", "pw")
+        hub_b.register_user("ben", "pw")
+        pod_a = hub_a.login("ana", "pw")
+        pod_b = hub_b.login("ben", "pw")
+        assert pod_a.namespace == "rin-exploration"
+        assert pod_b.namespace == "proteomics-lab"
+
+    def test_namespace_isolation_of_service_accounts(self, cluster):
+        from repro.cloud import ForbiddenError, Pod, Resources
+
+        JupyterHub(cluster)
+        hub_b = JupyterHub(
+            cluster,
+            namespace="proteomics-lab",
+            config=HubConfig(service_path="/proteomics"),
+        )
+        # hub_b's SA must not create pods in hub_a's namespace.
+        intruder = Pod(
+            name="sneaky",
+            namespace="rin-exploration",
+            image="x",
+            requests=Resources.cores(1, 1),
+            limits=Resources.cores(1, 1),
+        )
+        with pytest.raises(ForbiddenError):
+            cluster.create_pod(intruder, actor=hub_b.service_account)
+
+    def test_routes_do_not_collide(self, cluster):
+        hub_a = JupyterHub(cluster)
+        hub_b = JupyterHub(
+            cluster,
+            namespace="proteomics-lab",
+            config=HubConfig(service_path="/proteomics"),
+        )
+        cluster.clock.advance(30)
+        proxy = ServiceProxy(cluster)
+        to_a = proxy.request("1.1.1.1", hub_a.config.host, "/service-path")
+        to_b = proxy.request("1.1.1.1", hub_b.config.host, "/proteomics")
+        assert to_a.pod.namespace == "rin-exploration"
+        assert to_b.pod.namespace == "proteomics-lab"
+
+    def test_duplicate_namespace_rejected(self, cluster):
+        JupyterHub(cluster)
+        with pytest.raises(ValueError):
+            JupyterHub(cluster)  # same default namespace

@@ -1,0 +1,87 @@
+"""Unit tests for cluster metrics snapshots."""
+
+import pytest
+
+from repro.cloud import (
+    JupyterHub,
+    Resources,
+    build_paper_cluster,
+    snapshot,
+)
+from repro.cloud.objects import Pod
+
+
+def make_pod(name, cpu=2.0, mem=2.0):
+    return Pod(
+        name=name,
+        namespace="default",
+        image="img",
+        requests=Resources.cores(cpu, mem),
+        limits=Resources.cores(cpu * 2, mem * 2),
+    )
+
+
+@pytest.fixture
+def cluster():
+    c = build_paper_cluster(workers=2)
+    c.create_namespace("default")
+    return c
+
+
+class TestSnapshot:
+    def test_empty_cluster(self, cluster):
+        m = snapshot(cluster)
+        assert m.pods_total == 0
+        assert m.control_plane_available
+        assert m.worst_cpu_fraction() == 0.0
+        assert len(m.nodes) == len(cluster.nodes)
+
+    def test_counts_pods_by_phase(self, cluster):
+        cluster.create_pod(make_pod("a"))
+        cluster.create_pod(make_pod("huge", cpu=100, mem=100))  # unplaceable
+        m = snapshot(cluster)
+        assert m.pods_total == 2
+        assert m.pods_pending == 2  # both still starting/unplaced
+        cluster.clock.advance(30)
+        m = snapshot(cluster)
+        assert m.pods_running == 1
+        assert m.pods_pending == 1
+
+    def test_utilization_fractions(self, cluster):
+        cluster.create_pod(make_pod("a", cpu=16.0, mem=16.0))
+        m = snapshot(cluster)
+        # One 32-core worker half full.
+        assert m.worst_cpu_fraction() == pytest.approx(0.5)
+
+    def test_pod_count_per_node(self, cluster):
+        cluster.create_pod(make_pod("a"))
+        cluster.create_pod(make_pod("b"))
+        m = snapshot(cluster)
+        assert sum(n.pod_count for n in m.workers()) == 2
+
+    def test_has_capacity_for(self, cluster):
+        m = snapshot(cluster)
+        assert m.has_capacity_for(10_000, 16_384)  # a paper instance fits
+        assert not m.has_capacity_for(64_000, 1024)  # >32 cores: nowhere
+
+    def test_control_plane_flag(self, cluster):
+        cluster.fail_node("master-0")
+        cluster.fail_node("master-1")
+        m = snapshot(cluster)
+        assert not m.control_plane_available
+
+    def test_saturation_signal_with_hub(self):
+        cluster = build_paper_cluster(workers=1)
+        hub = JupyterHub(cluster)
+        cluster.clock.advance(30)
+        before = snapshot(cluster).worst_cpu_fraction()
+        for i in range(5):
+            hub.register_user(f"u{i}", "pw")
+            hub.login(f"u{i}", "pw")
+        after = snapshot(cluster).worst_cpu_fraction()
+        assert after > before
+
+    def test_node_roles_reported(self, cluster):
+        m = snapshot(cluster)
+        roles = {n.role for n in m.nodes}
+        assert roles == {"master", "worker", "service", "gateway"}

@@ -1,0 +1,117 @@
+"""Property-based tests (hypothesis) for the cloud scheduler."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud import PodPhase, Resources, build_paper_cluster
+from repro.cloud.objects import Pod
+
+
+def make_pod(i: int, cpu: int, mem: int) -> Pod:
+    return Pod(
+        name=f"p{i}",
+        namespace="default",
+        image="img",
+        requests=Resources(cpu, mem),
+        limits=Resources(cpu * 2, mem * 2),
+    )
+
+
+@st.composite
+def pod_workloads(draw):
+    """A random sequence of pod creations and deletions."""
+    creations = draw(
+        st.lists(
+            st.tuples(
+                st.integers(100, 20_000),  # cpu millicores
+                st.integers(128, 40_000),  # memory MiB
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    deletions = draw(
+        st.lists(
+            st.integers(0, len(creations) - 1), max_size=len(creations),
+            unique=True,
+        )
+    )
+    return creations, deletions
+
+
+class TestSchedulerInvariants:
+    @given(pod_workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_capacity_never_exceeded(self, workload):
+        creations, deletions = workload
+        cluster = build_paper_cluster(workers=2)
+        cluster.create_namespace("default")
+        pods = []
+        for i, (cpu, mem) in enumerate(creations):
+            pods.append(cluster.create_pod(make_pod(i, cpu, mem)))
+        for i in deletions:
+            cluster.delete_pod("default", f"p{i}")
+        for node in cluster.workers():
+            assert node.allocated.cpu_milli <= node.capacity.cpu_milli
+            assert node.allocated.memory_mib <= node.capacity.memory_mib
+            assert node.allocated.cpu_milli >= 0
+            assert node.allocated.memory_mib >= 0
+
+    @given(pod_workloads())
+    @settings(max_examples=30, deadline=None)
+    def test_allocation_equals_placed_requests(self, workload):
+        """Conservation: Σ node allocations == Σ requests of placed pods."""
+        creations, deletions = workload
+        cluster = build_paper_cluster(workers=2)
+        cluster.create_namespace("default")
+        for i, (cpu, mem) in enumerate(creations):
+            cluster.create_pod(make_pod(i, cpu, mem))
+        for i in deletions:
+            cluster.delete_pod("default", f"p{i}")
+        placed = [
+            p
+            for p in cluster.namespace("default").pods.values()
+            if p.node is not None
+        ]
+        total_alloc = sum(n.allocated.cpu_milli for n in cluster.workers())
+        total_req = sum(p.requests.cpu_milli for p in placed)
+        assert total_alloc == total_req
+
+    @given(pod_workloads())
+    @settings(max_examples=25, deadline=None)
+    def test_no_placeable_pod_left_pending(self, workload):
+        """Work conservation: if a pending pod would fit somewhere, the
+        scheduler must have placed it."""
+        creations, deletions = workload
+        cluster = build_paper_cluster(workers=2)
+        cluster.create_namespace("default")
+        for i, (cpu, mem) in enumerate(creations):
+            cluster.create_pod(make_pod(i, cpu, mem))
+        for i in deletions:
+            cluster.delete_pod("default", f"p{i}")
+        for pod in cluster.namespace("default").pods.values():
+            if pod.node is None:
+                assert not any(
+                    node.can_fit(pod.requests) for node in cluster.workers()
+                ), f"pod {pod.name} left pending despite fitting capacity"
+
+    @given(
+        pod_workloads(),
+        st.integers(0, 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_node_failure_preserves_invariants(self, workload, victim):
+        creations, _ = workload
+        cluster = build_paper_cluster(workers=2)
+        cluster.create_namespace("default")
+        for i, (cpu, mem) in enumerate(creations):
+            cluster.create_pod(make_pod(i, cpu, mem))
+        cluster.clock.advance(30)
+        cluster.fail_node(f"worker-{victim}")
+        for node in cluster.workers():
+            assert node.allocated.cpu_milli <= node.capacity.cpu_milli
+        # No running pod may sit on the failed node.
+        for pod in cluster.namespace("default").pods.values():
+            if pod.phase is PodPhase.RUNNING:
+                assert pod.node != f"worker-{victim}"

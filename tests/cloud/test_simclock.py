@@ -1,0 +1,116 @@
+"""Unit tests for the simulation clock and resources."""
+
+import pytest
+
+from repro.cloud import PAPER_INSTANCE_LIMIT, Resources, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(5.0)
+        assert clock.now == 5.0
+
+    def test_scheduled_callbacks_fire_in_order(self):
+        clock = SimClock()
+        order = []
+        clock.schedule(3.0, lambda: order.append("c"))
+        clock.schedule(1.0, lambda: order.append("a"))
+        clock.schedule(2.0, lambda: order.append("b"))
+        clock.advance(10.0)
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_tiebreak(self):
+        clock = SimClock()
+        order = []
+        clock.schedule(1.0, lambda: order.append(1))
+        clock.schedule(1.0, lambda: order.append(2))
+        clock.advance(1.0)
+        assert order == [1, 2]
+
+    def test_partial_advance(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(5.0, lambda: fired.append(True))
+        clock.advance(4.0)
+        assert fired == []
+        clock.advance(1.0)
+        assert fired == [True]
+
+    def test_callbacks_see_fire_time(self):
+        clock = SimClock()
+        seen = []
+        clock.schedule(2.5, lambda: seen.append(clock.now))
+        clock.advance(10.0)
+        assert seen == [2.5]
+
+    def test_nested_scheduling(self):
+        clock = SimClock()
+        order = []
+
+        def outer():
+            order.append("outer")
+            clock.schedule(1.0, lambda: order.append("inner"))
+
+        clock.schedule(1.0, outer)
+        clock.advance(3.0)
+        assert order == ["outer", "inner"]
+
+    def test_cannot_go_backwards(self):
+        clock = SimClock(10.0)
+        with pytest.raises(ValueError):
+            clock.run_until(5.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().schedule(-1.0, lambda: None)
+
+    def test_drain(self):
+        clock = SimClock()
+        fired = []
+        clock.schedule(100.0, lambda: fired.append(1))
+        assert clock.pending == 1
+        clock.drain()
+        assert fired == [1]
+        assert clock.pending == 0
+
+
+class TestResources:
+    def test_cores_constructor(self):
+        r = Resources.cores(10, 16)
+        assert r.cpu_milli == 10_000
+        assert r.memory_mib == 16_384
+
+    def test_paper_instance_limit(self):
+        # §III-A: 10 vCores and 16 GB per instance.
+        assert PAPER_INSTANCE_LIMIT.cpu_milli == 10_000
+        assert PAPER_INSTANCE_LIMIT.memory_mib == 16_384
+
+    def test_arithmetic(self):
+        a = Resources(1000, 512)
+        b = Resources(250, 128)
+        assert (a + b).cpu_milli == 1250
+        assert (a - b).memory_mib == 384
+
+    def test_fits_in(self):
+        assert Resources(500, 100).fits_in(Resources(500, 100))
+        assert not Resources(501, 100).fits_in(Resources(500, 100))
+        assert not Resources(100, 101).fits_in(Resources(500, 100))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Resources(-1, 0)
+
+    def test_scaled(self):
+        assert Resources(1000, 100).scaled(0.5) == Resources(500, 50)
+        with pytest.raises(ValueError):
+            Resources(1, 1).scaled(-1)
+
+    def test_zero(self):
+        assert Resources(0, 0).zero
+        assert not Resources(1, 0).zero

@@ -1,0 +1,78 @@
+"""Shared fixtures: small canonical graphs and protein trajectories."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphkit import Graph
+from repro.md import generate_trajectory, proteins
+
+
+@pytest.fixture(scope="session")
+def a3d_traj():
+    """12-frame A3D trajectory shared across rin/core/bench tests."""
+    topo, native = proteins.build("A3D")
+    return generate_trajectory(topo, native, 12, seed=7)
+
+
+@pytest.fixture(scope="session")
+def trp_traj():
+    topo, native = proteins.build("2JOF")
+    return generate_trajectory(topo, native, 12, seed=7)
+
+
+@pytest.fixture(scope="session")
+def ntl9_traj():
+    topo, native = proteins.build("NTL9")
+    return generate_trajectory(topo, native, 12, seed=7)
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """K3."""
+    return Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def path4() -> Graph:
+    """Path 0-1-2-3."""
+    return Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+
+
+@pytest.fixture
+def star5() -> Graph:
+    """Star with center 0 and four leaves."""
+    return Graph.from_edges(5, [(0, i) for i in range(1, 5)])
+
+
+@pytest.fixture
+def two_triangles() -> Graph:
+    """Two triangles joined by one bridge edge (2-3)."""
+    return Graph.from_edges(
+        6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+    )
+
+
+@pytest.fixture
+def disconnected() -> Graph:
+    """An edge plus an isolated node."""
+    return Graph.from_edges(3, [(0, 1)])
+
+
+@pytest.fixture
+def karate() -> Graph:
+    """Zachary's karate club (the paper's Listing 1 example graph)."""
+    nxg = nx.karate_club_graph()
+    return Graph.from_edges(nxg.number_of_nodes(), nxg.edges())
+
+
+def to_networkx(g: Graph) -> nx.Graph:
+    """Convert a repro Graph to networkx for cross-validation."""
+    out = nx.DiGraph() if g.directed else nx.Graph()
+    out.add_nodes_from(range(g.number_of_nodes()))
+    if g.weighted:
+        out.add_weighted_edges_from(g.iter_weighted_edges())
+    else:
+        out.add_edges_from(g.iter_edges())
+    return out

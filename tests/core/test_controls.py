@@ -1,0 +1,96 @@
+"""Unit tests for the headless ipywidgets-style controls."""
+
+import pytest
+
+from repro.core import Button, Checkbox, FloatSlider, IntSlider, SelectionSlider
+
+
+class TestIntSlider:
+    def test_value_and_observe(self):
+        s = IntSlider(2, 0, 10)
+        seen = []
+        s.observe(lambda ch: seen.append((ch["old"], ch["new"])))
+        s.value = 7
+        assert s.value == 7
+        assert seen == [(2, 7)]
+
+    def test_clamped(self):
+        s = IntSlider(5, 0, 10)
+        s.value = 99
+        assert s.value == 10
+        s.value = -5
+        assert s.value == 0
+
+    def test_initial_clamped(self):
+        assert IntSlider(99, 0, 3).value == 3
+
+    def test_no_event_on_same_value(self):
+        s = IntSlider(5, 0, 10)
+        seen = []
+        s.observe(lambda ch: seen.append(ch))
+        s.value = 5
+        assert seen == []
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            IntSlider(0, 10, 0)
+
+    def test_unobserve(self):
+        s = IntSlider(0, 0, 5)
+        cb = lambda ch: (_ for _ in ()).throw(AssertionError)  # noqa: E731
+        s.observe(cb)
+        s.unobserve(cb)
+        s.value = 3  # must not raise
+
+    def test_only_value_names_supported(self):
+        with pytest.raises(ValueError):
+            IntSlider(0, 0, 5).observe(lambda ch: None, names="min")
+
+
+class TestFloatSlider:
+    def test_clamp_and_notify(self):
+        s = FloatSlider(4.5, 3.0, 10.0, step=0.05)
+        events = []
+        s.observe(lambda ch: events.append(ch["new"]))
+        s.value = 12.0
+        assert s.value == 10.0
+        assert events == [10.0]
+
+    def test_invalid_step(self):
+        with pytest.raises(ValueError):
+            FloatSlider(1.0, 0.0, 2.0, step=0.0)
+
+
+class TestSelectionSlider:
+    def test_default_first_option(self):
+        s = SelectionSlider(["a", "b"])
+        assert s.value == "a"
+
+    def test_invalid_option_rejected(self):
+        s = SelectionSlider(["a", "b"], value="b")
+        with pytest.raises(ValueError):
+            s.value = "c"
+
+    def test_empty_options_rejected(self):
+        with pytest.raises(ValueError):
+            SelectionSlider([])
+
+    def test_initial_not_in_options(self):
+        with pytest.raises(ValueError):
+            SelectionSlider(["a"], value="x")
+
+
+class TestButtonCheckbox:
+    def test_click_handlers(self):
+        b = Button("Recompute")
+        count = []
+        b.on_click(lambda btn: count.append(btn.description))
+        b.click()
+        b.click()
+        assert count == ["Recompute", "Recompute"]
+        assert b.click_count == 2
+
+    def test_checkbox_coerces_bool(self):
+        c = Checkbox(False)
+        c.value = 1
+        assert c.value is True

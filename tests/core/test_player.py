@@ -1,0 +1,67 @@
+"""Unit tests for the animation player (paper's 24-60 fps claim)."""
+
+import pytest
+
+from repro.core import AnimationPlayer, UpdatePipeline
+from repro.rin import DynamicRIN
+
+
+@pytest.fixture
+def pipeline(a3d_traj):
+    rin = DynamicRIN(a3d_traj, frame=0, cutoff=4.5)
+    return UpdatePipeline(rin, measure="Degree Centrality")
+
+
+class TestPlayback:
+    def test_plays_all_frames(self, pipeline):
+        player = AnimationPlayer(pipeline)
+        report = player.play(target_fps=24.0, frames=[1, 2, 3])
+        assert report.frames_played == 3
+        assert pipeline.rin.frame == 3
+        assert report.mean_frame_ms > 0
+        assert report.worst_frame_ms >= report.mean_frame_ms
+
+    def test_default_frames_cover_trajectory(self, pipeline, a3d_traj):
+        player = AnimationPlayer(pipeline)
+        report = player.play(target_fps=10.0)
+        assert report.frames_played == a3d_traj.n_frames - 1
+
+    def test_dropped_frames_counted(self, pipeline):
+        player = AnimationPlayer(pipeline)
+        # An absurd target: every frame must drop.
+        report = player.play(target_fps=100000.0, frames=[1, 2])
+        assert report.dropped_frames == 2
+        assert not report.fluent
+
+    def test_loop_from_seeks_first(self, pipeline):
+        player = AnimationPlayer(pipeline)
+        player.play(target_fps=10.0, frames=[6], loop_from=5)
+        assert pipeline.rin.frame == 6
+
+    def test_invalid_args(self, pipeline):
+        player = AnimationPlayer(pipeline)
+        with pytest.raises(ValueError):
+            player.play(target_fps=0.0)
+        with pytest.raises(ValueError):
+            player.play(frames=[])
+        with pytest.raises(ValueError):
+            player.measure_animation([])
+
+    def test_measure_animation_is_faster_than_frames(self, pipeline):
+        # The paper's fluent path: measure switches only recolor.
+        player = AnimationPlayer(pipeline)
+        frames_report = player.play(target_fps=24.0, frames=[1, 2, 3])
+        measure_report = player.measure_animation(
+            ["Degree Centrality", "Eigenvector Centrality"] * 2,
+            target_fps=24.0,
+        )
+        assert measure_report.mean_frame_ms < frames_report.mean_frame_ms
+
+    def test_cheap_measures_hit_double_digit_fps(self, pipeline):
+        player = AnimationPlayer(pipeline)
+        report = player.measure_animation(
+            ["Degree Centrality", "Katz Centrality"] * 3, target_fps=24.0
+        )
+        # The paper reaches 24-60 fps on C++; the Python server must still
+        # sustain interactive double-digit rates for the cheap measures.
+        assert report.achieved_fps > 10

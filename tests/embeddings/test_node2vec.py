@@ -1,0 +1,123 @@
+"""Unit tests for node2vec walks and embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings import Node2Vec, cosine_similarity, random_walks
+from repro.graphkit import Graph
+from repro.graphkit.generators import planted_partition
+
+
+class TestWalks:
+    def test_shape(self, karate):
+        walks = random_walks(karate, walks_per_node=3, walk_length=10, seed=1)
+        assert walks.shape == (34 * 3, 10)
+
+    def test_walks_follow_edges(self, karate):
+        walks = random_walks(karate, walks_per_node=2, walk_length=8, seed=2)
+        for walk in walks[:20]:
+            for a, b in zip(walk[:-1], walk[1:]):
+                assert a == b or karate.has_edge(int(a), int(b))
+
+    def test_every_node_starts_walks(self, karate):
+        walks = random_walks(karate, walks_per_node=1, walk_length=5, seed=1)
+        assert set(walks[:, 0].tolist()) == set(range(34))
+
+    def test_isolated_node_self_padded(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        walks = random_walks(g, walks_per_node=1, walk_length=5, seed=1)
+        lonely = walks[walks[:, 0] == 2][0]
+        assert (lonely == 2).all()
+
+    def test_deterministic(self, karate):
+        a = random_walks(karate, walks_per_node=2, walk_length=6, seed=9)
+        b = random_walks(karate, walks_per_node=2, walk_length=6, seed=9)
+        assert np.array_equal(a, b)
+
+    def test_low_p_returns_more(self, karate):
+        # p << 1 biases walks back to the previous node.
+        returny = random_walks(
+            karate, walks_per_node=4, walk_length=20, p=0.05, q=1.0, seed=3
+        )
+        outy = random_walks(
+            karate, walks_per_node=4, walk_length=20, p=20.0, q=1.0, seed=3
+        )
+
+        def backtrack_rate(walks):
+            back = (walks[:, 2:] == walks[:, :-2]).mean()
+            return back
+
+        assert backtrack_rate(returny) > backtrack_rate(outy)
+
+    def test_invalid_params(self, karate):
+        with pytest.raises(ValueError):
+            random_walks(karate, walks_per_node=0)
+        with pytest.raises(ValueError):
+            random_walks(karate, walk_length=1)
+        with pytest.raises(ValueError):
+            random_walks(karate, p=0.0)
+
+
+class TestNode2Vec:
+    def test_shape_and_finite(self, karate):
+        emb = Node2Vec(karate, dimensions=16, walks_per_node=4).run()
+        features = emb.get_features()
+        assert features.shape == (34, 16)
+        assert np.isfinite(features).all()
+
+    def test_requires_run(self, karate):
+        with pytest.raises(RuntimeError):
+            Node2Vec(karate).get_features()
+
+    def test_deterministic(self, karate):
+        a = Node2Vec(karate, dimensions=8, seed=5).run().get_features()
+        b = Node2Vec(karate, dimensions=8, seed=5).run().get_features()
+        assert np.allclose(a, b)
+
+    def test_communities_cluster_in_embedding(self):
+        # Planted blocks must be more similar within than across.
+        g, truth = planted_partition(45, 3, 0.5, 0.02, seed=3)
+        features = Node2Vec(
+            g, dimensions=16, walks_per_node=8, walk_length=30, seed=1
+        ).run().get_features()
+        sim = cosine_similarity(features)
+        labels = truth.labels()
+        same = labels[:, None] == labels[None, :]
+        off_diag = ~np.eye(45, dtype=bool)
+        within = sim[same & off_diag].mean()
+        across = sim[~same].mean()
+        assert within > across + 0.1
+
+    def test_small_graph_padding(self):
+        g = Graph.from_edges(2, [(0, 1)])
+        features = Node2Vec(g, dimensions=8).run().get_features()
+        assert features.shape == (2, 8)
+
+    def test_empty_graph(self):
+        features = Node2Vec(Graph(0), dimensions=4).run().get_features()
+        assert features.shape == (0, 4)
+
+    def test_invalid_params(self, karate):
+        with pytest.raises(ValueError):
+            Node2Vec(karate, dimensions=0)
+        with pytest.raises(ValueError):
+            Node2Vec(karate, window=0)
+
+    def test_rin_embedding_separates_helices(self):
+        # The §VII use case: embed an A3D RIN; helices should cluster.
+        from repro.md import proteins
+        from repro.rin import build_rin
+
+        topo, native = proteins.build("A3D")
+        g = build_rin(topo, native, 4.5)
+        features = Node2Vec(
+            g, dimensions=16, walks_per_node=6, walk_length=25, seed=1
+        ).run().get_features()
+        sim = cosine_similarity(features)
+        seg = topo.helix_partition()
+        structured = seg > 0
+        same = (seg[:, None] == seg[None, :]) & structured[:, None] & structured[None, :]
+        cross = (seg[:, None] != seg[None, :]) & structured[:, None] & structured[None, :]
+        off = ~np.eye(73, dtype=bool)
+        assert sim[same & off].mean() > sim[cross & off].mean()

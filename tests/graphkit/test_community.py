@@ -1,0 +1,206 @@
+"""Unit tests for community detection algorithms and quality measures."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphkit import Graph
+from repro.graphkit.community import (
+    PLM,
+    PLP,
+    LouvainMapEquation,
+    ParallelLeiden,
+    Partition,
+    coverage,
+    map_equation,
+    modularity,
+    nmi,
+)
+from repro.graphkit.generators import planted_partition
+
+ALGOS = {
+    "plm": lambda g: PLM(g, seed=1),
+    "plm-refine": lambda g: PLM(g, refine=True, seed=1),
+    "plp": lambda g: PLP(g, seed=1),
+    "leiden": lambda g: ParallelLeiden(g, seed=1),
+    "mapeq": lambda g: LouvainMapEquation(g, seed=1),
+}
+
+
+@pytest.fixture
+def sbm():
+    return planted_partition(60, 3, p_in=0.5, p_out=0.02, seed=4)
+
+
+class TestAllAlgorithms:
+    @pytest.mark.parametrize("name", list(ALGOS))
+    def test_valid_partition(self, name, karate):
+        part = ALGOS[name](karate).run().get_partition()
+        assert len(part) == karate.number_of_nodes()
+        assert part.number_of_subsets() >= 1
+
+    @pytest.mark.parametrize("name", list(ALGOS))
+    def test_recovers_planted_partition(self, name, sbm):
+        g, truth = sbm
+        part = ALGOS[name](g).run().get_partition()
+        assert nmi(part, truth) > 0.9
+
+    @pytest.mark.parametrize("name", list(ALGOS))
+    def test_deterministic_with_seed(self, name, karate):
+        a = ALGOS[name](karate).run().get_partition()
+        b = ALGOS[name](karate).run().get_partition()
+        assert np.array_equal(a.labels(), b.labels())
+
+    @pytest.mark.parametrize("name", list(ALGOS))
+    def test_requires_run(self, name, karate):
+        with pytest.raises(RuntimeError):
+            ALGOS[name](karate).get_partition()
+
+    @pytest.mark.parametrize("name", list(ALGOS))
+    def test_two_triangles_separated(self, name, two_triangles):
+        part = ALGOS[name](two_triangles).run().get_partition()
+        labels = part.labels()
+        assert labels[0] == labels[1] == labels[2]
+        assert labels[3] == labels[4] == labels[5]
+        assert labels[0] != labels[3]
+
+
+class TestPLM:
+    def test_karate_modularity_good(self, karate):
+        part = PLM(karate, seed=1).run().get_partition()
+        q = modularity(karate, part)
+        # The known optimum for karate is ~0.4198; Louvain should get close.
+        assert q > 0.38
+
+    def test_matches_networkx_louvain_quality(self, karate):
+        part = PLM(karate, seed=1).run().get_partition()
+        q_ours = modularity(karate, part)
+        nxg = nx.karate_club_graph()
+        nx_comms = nx.algorithms.community.louvain_communities(nxg, seed=1)
+        q_nx = nx.algorithms.community.modularity(nxg, nx_comms)
+        assert q_ours >= q_nx - 0.03
+
+    def test_refine_not_worse(self, karate):
+        q_plain = modularity(karate, PLM(karate, seed=1).run().get_partition())
+        q_refined = modularity(
+            karate, PLM(karate, refine=True, seed=1).run().get_partition()
+        )
+        assert q_refined >= q_plain - 1e-9
+
+    def test_gamma_resolution(self, karate):
+        coarse = PLM(karate, gamma=0.3, seed=1).run().get_partition()
+        fine = PLM(karate, gamma=3.0, seed=1).run().get_partition()
+        assert coarse.number_of_subsets() <= fine.number_of_subsets()
+
+    def test_number_of_levels(self, karate):
+        alg = PLM(karate, seed=1).run()
+        assert alg.number_of_levels() >= 1
+
+    def test_empty_graph(self):
+        part = PLM(Graph(0)).run().get_partition()
+        assert len(part) == 0
+
+    def test_edgeless_graph(self):
+        part = PLM(Graph(5)).run().get_partition()
+        assert part.number_of_subsets() == 5
+
+    def test_directed_rejected(self):
+        g = Graph(3, directed=True)
+        g.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            PLM(g).run()
+
+
+class TestPLP:
+    def test_iterations_reported(self, karate):
+        alg = PLP(karate).run()
+        assert 1 <= alg.number_of_iterations() <= 100
+
+    def test_converges_fast_on_cliques(self, two_triangles):
+        alg = PLP(two_triangles).run()
+        assert alg.number_of_iterations() <= 5
+
+    def test_invalid_max_iterations(self, karate):
+        with pytest.raises(ValueError):
+            PLP(karate, max_iterations=0)
+
+
+class TestLeiden:
+    def test_quality_comparable_to_plm(self, karate):
+        q_leiden = modularity(
+            karate, ParallelLeiden(karate, seed=1).run().get_partition()
+        )
+        q_plm = modularity(karate, PLM(karate, seed=1).run().get_partition())
+        assert q_leiden >= q_plm - 0.05
+
+    def test_communities_connected(self, karate):
+        # Leiden's guarantee: every community induces a connected subgraph.
+        from repro.graphkit.components import connected_components
+
+        part = ParallelLeiden(karate, seed=3).run().get_partition()
+        for block in part.subsets():
+            sub, _ = karate.subgraph(block.tolist())
+            count, _ = connected_components(sub)
+            assert count == 1
+
+    def test_invalid_iterations(self, karate):
+        with pytest.raises(ValueError):
+            ParallelLeiden(karate, iterations=0)
+
+
+class TestMapEquation:
+    def test_improves_over_singletons(self, karate):
+        part = LouvainMapEquation(karate, seed=1).run().get_partition()
+        singletons = Partition(karate.number_of_nodes())
+        assert map_equation(karate, part) < map_equation(karate, singletons)
+
+    def test_reasonable_block_count(self, karate):
+        part = LouvainMapEquation(karate, seed=1).run().get_partition()
+        assert 2 <= part.number_of_subsets() <= 12
+
+
+class TestQualityMeasures:
+    def test_modularity_single_block(self, karate):
+        n = karate.number_of_nodes()
+        part = Partition(np.zeros(n, dtype=int))
+        assert modularity(karate, part) == pytest.approx(0.0)
+
+    def test_modularity_singletons_negative(self, karate):
+        part = Partition(karate.number_of_nodes())
+        assert modularity(karate, part) < 0
+
+    def test_modularity_matches_networkx(self, karate):
+        part = PLM(karate, seed=2).run().get_partition()
+        nxg = nx.karate_club_graph()
+        comms = [set(b.tolist()) for b in part.subsets()]
+        # weight=None: our fixture drops nx's karate edge weights.
+        assert modularity(karate, part) == pytest.approx(
+            nx.algorithms.community.modularity(nxg, comms, weight=None)
+        )
+
+    def test_coverage_bounds(self, karate):
+        part = PLM(karate, seed=1).run().get_partition()
+        c = coverage(karate, part)
+        assert 0.0 <= c <= 1.0
+        # Single block covers everything.
+        whole = Partition(np.zeros(karate.number_of_nodes(), dtype=int))
+        assert coverage(karate, whole) == pytest.approx(1.0)
+
+    def test_map_equation_single_block_is_entropy(self, karate):
+        # One module: index codebook is empty, L = node-visit entropy.
+        n = karate.number_of_nodes()
+        part = Partition(np.zeros(n, dtype=int))
+        csr = karate.csr()
+        p = csr.weighted_degrees() / csr.weights.sum()
+        expected = float(-(p * np.log2(p)).sum())
+        assert map_equation(karate, part) == pytest.approx(expected)
+
+    def test_map_equation_empty_graph(self):
+        assert map_equation(Graph(3), Partition(3)) == 0.0
+
+    def test_modularity_empty_graph(self):
+        assert modularity(Graph(3), Partition(3)) == 0.0
+
+    def test_partition_size_mismatch_rejected(self, karate):
+        with pytest.raises(ValueError):
+            modularity(karate, Partition(5))

@@ -1,0 +1,57 @@
+"""Unit tests for connected components."""
+
+import pytest
+
+from repro.graphkit import ConnectedComponents, Graph, connected_components
+from repro.graphkit.components import largest_component
+
+
+class TestConnectedComponents:
+    def test_single_component(self, triangle):
+        count, labels = connected_components(triangle)
+        assert count == 1
+        assert len(set(labels.tolist())) == 1
+
+    def test_two_components(self):
+        g = Graph.from_edges(5, [(0, 1), (2, 3)])
+        count, labels = connected_components(g)
+        assert count == 3  # {0,1}, {2,3}, {4}
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[4] not in (labels[0], labels[2])
+
+    def test_empty_graph(self):
+        count, labels = connected_components(Graph(0))
+        assert count == 0
+        assert len(labels) == 0
+
+    def test_all_isolated(self):
+        count, _ = connected_components(Graph(4))
+        assert count == 4
+
+    def test_runner_api(self, disconnected):
+        cc = ConnectedComponents(disconnected).run()
+        assert cc.number_of_components() == 2
+        assert cc.component_of(0) == cc.component_of(1)
+        sizes = cc.component_sizes()
+        assert sorted(sizes.values()) == [1, 2]
+
+    def test_runner_requires_run(self, triangle):
+        with pytest.raises(RuntimeError):
+            ConnectedComponents(triangle).number_of_components()
+
+    def test_get_components_partition(self, disconnected):
+        comps = ConnectedComponents(disconnected).run().get_components()
+        flat = sorted(u for comp in comps for u in comp)
+        assert flat == [0, 1, 2]
+
+    def test_largest_component(self):
+        g = Graph.from_edges(6, [(0, 1), (1, 2), (3, 4)])
+        assert largest_component(g).tolist() == [0, 1, 2]
+
+    def test_rin_cutoff_scenario(self):
+        # Low cut-off RINs fragment into many components; the widget relies
+        # on all measures still being well-defined there.
+        g = Graph.from_edges(10, [(i, i + 1) for i in range(0, 9, 2)])
+        count, _ = connected_components(g)
+        assert count == 5

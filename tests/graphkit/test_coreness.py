@@ -1,0 +1,102 @@
+"""Unit tests for k-core decomposition and clustering coefficients."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphkit import (
+    CoreDecomposition,
+    Graph,
+    core_decomposition,
+    local_clustering,
+)
+from repro.graphkit.generators import erdos_renyi
+
+from ..conftest import to_networkx
+
+
+class TestCoreDecomposition:
+    def test_triangle_all_core2(self, triangle):
+        assert core_decomposition(triangle).tolist() == [2, 2, 2]
+
+    def test_star_core1(self, star5):
+        assert core_decomposition(star5).tolist() == [1, 1, 1, 1, 1]
+
+    def test_path_core1(self, path4):
+        assert core_decomposition(path4).tolist() == [1, 1, 1, 1]
+
+    def test_isolated_core0(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        assert core_decomposition(g).tolist() == [1, 1, 0]
+
+    def test_clique_with_tail(self):
+        # K4 (core 3) with a pendant chain (core 1).
+        g = Graph.from_edges(
+            6,
+            [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+        )
+        core = core_decomposition(g)
+        assert core[:4].tolist() == [3, 3, 3, 3]
+        assert core[4] == 1 and core[5] == 1
+
+    @pytest.mark.parametrize("seed", [1, 5, 11])
+    def test_matches_networkx(self, seed):
+        g = erdos_renyi(60, 0.08, seed=seed)
+        ours = core_decomposition(g)
+        ref = nx.core_number(to_networkx(g))
+        assert ours.tolist() == [ref[u] for u in range(60)]
+
+    def test_karate_matches_networkx(self, karate):
+        ours = core_decomposition(karate)
+        ref = nx.core_number(nx.karate_club_graph())
+        assert ours.tolist() == [ref[u] for u in range(34)]
+
+    def test_runner_api(self, karate):
+        cd = CoreDecomposition(karate).run()
+        assert cd.max_core_number() == 4
+        members = cd.core_members(4)
+        assert len(members) > 0
+        assert set(cd.core_members(5).tolist()) == set()
+
+    def test_runner_requires_run(self, karate):
+        with pytest.raises(RuntimeError):
+            CoreDecomposition(karate).scores()
+
+    def test_empty(self):
+        assert len(core_decomposition(Graph(0))) == 0
+
+
+class TestLocalClustering:
+    def test_triangle_is_one(self, triangle):
+        assert np.allclose(local_clustering(triangle), 1.0)
+
+    def test_star_is_zero(self, star5):
+        assert np.allclose(local_clustering(star5), 0.0)
+
+    def test_path_zero(self, path4):
+        assert np.allclose(local_clustering(path4), 0.0)
+
+    @pytest.mark.parametrize("seed", [2, 9])
+    def test_matches_networkx(self, seed):
+        g = erdos_renyi(50, 0.12, seed=seed)
+        ours = local_clustering(g)
+        ref = nx.clustering(to_networkx(g))
+        theirs = np.array([ref[u] for u in range(50)])
+        assert np.allclose(ours, theirs, atol=1e-12)
+
+    def test_range(self, karate):
+        cc = local_clustering(karate)
+        assert (cc >= 0).all() and (cc <= 1).all()
+
+    def test_empty(self):
+        assert len(local_clustering(Graph(0))) == 0
+
+    def test_rin_is_highly_clustered(self):
+        # Protein contact networks are strongly clustered (domain fact).
+        from repro.md import proteins
+        from repro.rin import build_rin
+
+        topo, native = proteins.build("A3D")
+        g = build_rin(topo, native, 4.5)
+        assert local_clustering(g).mean() > 0.3

@@ -1,0 +1,98 @@
+"""Unit tests for the CSR snapshot."""
+
+import numpy as np
+import pytest
+
+from repro.graphkit import CSRGraph, Graph
+
+
+class TestConstruction:
+    def test_from_adjacency(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (1, 3)])
+        csr = g.csr()
+        assert csr.n == 4
+        assert csr.nnz == 6
+        assert csr.m == 3
+
+    def test_from_edge_array_symmetrizes(self):
+        csr = CSRGraph.from_edge_array(3, np.array([[0, 1], [1, 2]]))
+        assert csr.m == 2
+        assert sorted(csr.neighbors(1).tolist()) == [0, 2]
+
+    def test_from_edge_array_directed(self):
+        csr = CSRGraph.from_edge_array(3, np.array([[0, 1]]), directed=True)
+        assert csr.neighbors(0).tolist() == [1]
+        assert csr.neighbors(1).tolist() == []
+
+    def test_invalid_indptr_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([1, 2]), np.array([0]), np.array([1.0]))
+
+    def test_misaligned_weights_rejected(self):
+        with pytest.raises(ValueError):
+            CSRGraph(np.array([0, 1]), np.array([0]), np.array([1.0, 2.0]))
+
+    def test_empty(self):
+        csr = CSRGraph.from_edge_array(0, np.empty((0, 2)))
+        assert csr.n == 0
+        assert csr.m == 0
+
+
+class TestViews:
+    def test_neighbors_sorted(self):
+        g = Graph(4)
+        g.add_edge(2, 3)
+        g.add_edge(2, 0)
+        g.add_edge(2, 1)
+        assert g.csr().neighbors(2).tolist() == [0, 1, 3]
+
+    def test_neighbor_weights_aligned(self):
+        g = Graph.from_weighted_edges(3, [(0, 2, 5.0), (0, 1, 2.0)])
+        csr = g.csr()
+        assert csr.neighbors(0).tolist() == [1, 2]
+        assert csr.neighbor_weights(0).tolist() == [2.0, 5.0]
+
+    def test_degrees(self):
+        g = Graph.from_edges(3, [(0, 1), (0, 2)])
+        assert g.csr().degrees().tolist() == [2, 1, 1]
+
+    def test_weighted_degrees_with_isolated(self):
+        g = Graph(3, weighted=True)
+        g.add_edge(0, 1, 2.5)
+        wd = g.csr().weighted_degrees()
+        assert wd.tolist() == [2.5, 2.5, 0.0]
+
+    def test_weighted_degrees_empty_graph(self):
+        assert Graph(4).csr().weighted_degrees().tolist() == [0.0] * 4
+
+
+class TestScipy:
+    def test_to_scipy_roundtrip(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        mat = g.csr().to_scipy()
+        assert mat.shape == (4, 4)
+        assert mat.nnz == 6
+        dense = mat.toarray()
+        assert np.array_equal(dense, dense.T)
+
+    def test_to_scipy_cached(self):
+        csr = Graph.from_edges(2, [(0, 1)]).csr()
+        assert csr.to_scipy() is csr.to_scipy()
+
+
+class TestFrontier:
+    def test_expand_frontier(self):
+        g = Graph.from_edges(5, [(0, 1), (0, 2), (1, 3), (2, 4)])
+        csr = g.csr()
+        out = csr.expand_frontier(np.array([1, 2]))
+        assert sorted(out.tolist()) == [0, 0, 3, 4]
+
+    def test_expand_empty_frontier(self):
+        csr = Graph.from_edges(2, [(0, 1)]).csr()
+        assert len(csr.expand_frontier(np.empty(0, dtype=np.int64))) == 0
+
+    def test_expand_isolated(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        out = g.csr().expand_frontier(np.array([2]))
+        assert len(out) == 0

@@ -1,0 +1,92 @@
+"""Unit tests for multi-source BFS and effective diameter."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphkit import Graph
+from repro.graphkit.distance import (
+    bfs_distances,
+    effective_diameter,
+    multi_source_bfs,
+)
+
+
+class TestMultiSourceBFS:
+    def test_single_source_matches_bfs(self, karate):
+        assert np.array_equal(
+            multi_source_bfs(karate, [0]), bfs_distances(karate, 0)
+        )
+
+    def test_is_minimum_over_sources(self, karate):
+        sources = [0, 33]
+        combined = multi_source_bfs(karate, sources)
+        per_source = np.stack(
+            [bfs_distances(karate, s) for s in sources]
+        )
+        expected = per_source.min(axis=0)
+        assert np.array_equal(combined, expected)
+
+    def test_sources_at_zero(self, path4):
+        d = multi_source_bfs(path4, [0, 3])
+        assert d.tolist() == [0, 1, 1, 0]
+
+    def test_unreachable(self, disconnected):
+        d = multi_source_bfs(disconnected, [0])
+        assert d[2] == -1
+
+    def test_empty_sources_rejected(self, karate):
+        with pytest.raises(ValueError):
+            multi_source_bfs(karate, [])
+
+    def test_out_of_range_rejected(self, karate):
+        with pytest.raises(IndexError):
+            multi_source_bfs(karate, [999])
+
+    def test_rin_active_site_distance(self):
+        # Domain use: hop distance of every residue to a binding site.
+        from repro.md import proteins
+        from repro.rin import build_rin
+
+        topo, native = proteins.build("2JOF")
+        g = build_rin(topo, native, 6.0)
+        d = multi_source_bfs(g, [5, 6])  # Trp-cage core residues
+        assert d[5] == 0 and d[6] == 0
+        assert (d >= 0).all()  # connected at 6 Å
+
+
+class TestEffectiveDiameter:
+    def test_path_graph(self):
+        g = Graph.from_edges(10, [(i, i + 1) for i in range(9)])
+        eff = effective_diameter(g, percentile=0.9)
+        full = 9
+        assert 0 < eff <= full
+
+    def test_full_percentile_is_diameter(self, karate):
+        from repro.graphkit import Diameter
+
+        eff = effective_diameter(karate, percentile=1.0)
+        exact = Diameter(karate).run().get_diameter()
+        assert eff == exact
+
+    def test_monotone_in_percentile(self, karate):
+        e50 = effective_diameter(karate, percentile=0.5)
+        e90 = effective_diameter(karate, percentile=0.9)
+        assert e50 <= e90
+
+    def test_matches_manual_quantile(self, karate):
+        nxg = nx.karate_club_graph()
+        lengths = []
+        for u, dists in nx.all_pairs_shortest_path_length(nxg):
+            lengths.extend(d for v, d in dists.items() if v != u)
+        expected = float(np.quantile(lengths, 0.9, method="inverted_cdf"))
+        assert effective_diameter(karate, percentile=0.9) == expected
+
+    def test_invalid_percentile(self, karate):
+        with pytest.raises(ValueError):
+            effective_diameter(karate, percentile=0.0)
+        with pytest.raises(ValueError):
+            effective_diameter(karate, percentile=1.5)
+
+    def test_edgeless(self):
+        assert effective_diameter(Graph(5)) == 0.0

@@ -1,0 +1,164 @@
+"""Unit tests for graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphkit.components import connected_components
+from repro.graphkit.generators import (
+    barabasi_albert,
+    erdos_renyi,
+    grid_2d,
+    grid_3d,
+    planted_partition,
+    random_geometric,
+    watts_strogatz,
+)
+
+
+class TestErdosRenyi:
+    def test_edge_count_near_expectation(self):
+        n, p = 200, 0.05
+        g = erdos_renyi(n, p, seed=1)
+        expected = p * n * (n - 1) / 2
+        assert abs(g.number_of_edges() - expected) < 4 * np.sqrt(expected)
+
+    def test_p_zero(self):
+        assert erdos_renyi(50, 0.0, seed=1).number_of_edges() == 0
+
+    def test_p_one_complete(self):
+        g = erdos_renyi(10, 1.0)
+        assert g.number_of_edges() == 45
+
+    def test_deterministic(self):
+        a = erdos_renyi(40, 0.1, seed=7)
+        b = erdos_renyi(40, 0.1, seed=7)
+        assert a.edge_set() == b.edge_set()
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 1.5)
+
+    def test_no_self_loops(self):
+        g = erdos_renyi(30, 0.3, seed=2)
+        assert all(u != v for u, v in g.iter_edges())
+
+    def test_tiny(self):
+        assert erdos_renyi(0, 0.5).number_of_nodes() == 0
+        assert erdos_renyi(1, 0.5).number_of_edges() == 0
+
+
+class TestBarabasiAlbert:
+    def test_edge_count(self):
+        n, k = 100, 3
+        g = barabasi_albert(n, k, seed=1)
+        seed_edges = k * (k - 1) // 2
+        assert g.number_of_edges() == seed_edges + (n - k) * k
+
+    def test_connected(self):
+        g = barabasi_albert(200, 2, seed=3)
+        count, _ = connected_components(g)
+        assert count == 1
+
+    def test_heavy_tail(self):
+        g = barabasi_albert(500, 2, seed=5)
+        degrees = g.degrees()
+        assert degrees.max() > 4 * np.median(degrees)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            barabasi_albert(10, 0)
+        with pytest.raises(ValueError):
+            barabasi_albert(3, 5)
+
+
+class TestRandomGeometric:
+    def test_positions_returned(self):
+        g, pos = random_geometric(50, 0.2, seed=1, return_positions=True)
+        assert pos.shape == (50, 3)
+        assert 0 <= pos.min() and pos.max() <= 1
+
+    def test_edges_respect_radius(self):
+        g, pos = random_geometric(80, 0.25, seed=2, return_positions=True)
+        for u, v in g.iter_edges():
+            assert np.linalg.norm(pos[u] - pos[v]) <= 0.25 + 1e-12
+
+    def test_non_edges_beyond_radius(self):
+        g, pos = random_geometric(40, 0.3, dim=2, seed=3, return_positions=True)
+        for u in range(40):
+            for v in range(u + 1, 40):
+                if not g.has_edge(u, v):
+                    assert np.linalg.norm(pos[u] - pos[v]) > 0.3 - 1e-12
+
+    def test_dim_validation(self):
+        with pytest.raises(ValueError):
+            random_geometric(10, 0.1, dim=4)
+
+    def test_zero_radius(self):
+        assert random_geometric(20, 0.0, seed=1).number_of_edges() == 0
+
+
+class TestWattsStrogatz:
+    def test_no_rewiring_is_lattice(self):
+        g = watts_strogatz(20, 4, 0.0)
+        assert g.number_of_edges() == 40
+        assert all(d == 4 for d in g.degrees())
+
+    def test_rewiring_preserves_edge_count(self):
+        g = watts_strogatz(50, 4, 0.3, seed=1)
+        assert g.number_of_edges() == 100
+
+    def test_odd_k_rejected(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(10, 3, 0.1)
+
+    def test_k_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            watts_strogatz(4, 4, 0.1)
+
+
+class TestGrids:
+    def test_grid_2d_counts(self):
+        g = grid_2d(3, 4)
+        assert g.number_of_nodes() == 12
+        assert g.number_of_edges() == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_grid_2d_connected(self):
+        count, _ = connected_components(grid_2d(5, 5))
+        assert count == 1
+
+    def test_grid_3d_counts(self):
+        g = grid_3d(2, 2, 2)
+        assert g.number_of_nodes() == 8
+        assert g.number_of_edges() == 12  # cube edges
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            grid_2d(0, 3)
+        with pytest.raises(ValueError):
+            grid_3d(1, 0, 1)
+
+
+class TestPlantedPartition:
+    def test_ground_truth_shape(self):
+        g, truth = planted_partition(30, 3, 0.6, 0.05, seed=1)
+        assert len(truth) == 30
+        assert truth.number_of_subsets() == 3
+
+    def test_intra_density_exceeds_inter(self):
+        g, truth = planted_partition(60, 3, 0.5, 0.05, seed=2)
+        labels = truth.labels()
+        intra = inter = 0
+        for u, v in g.iter_edges():
+            if labels[u] == labels[v]:
+                intra += 1
+            else:
+                inter += 1
+        assert intra > inter
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            planted_partition(10, 0, 0.5, 0.1)
+        with pytest.raises(ValueError):
+            planted_partition(2, 5, 0.5, 0.1)
+        with pytest.raises(ValueError):
+            planted_partition(10, 2, 1.5, 0.1)

@@ -1,0 +1,212 @@
+"""Unit tests for the dynamic Graph structure."""
+
+import numpy as np
+import pytest
+
+from repro.graphkit import Graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph(0)
+        assert g.number_of_nodes() == 0
+        assert g.number_of_edges() == 0
+
+    def test_nodes_only(self):
+        g = Graph(5)
+        assert g.number_of_nodes() == 5
+        assert g.number_of_edges() == 0
+        assert list(g.iter_nodes()) == [0, 1, 2, 3, 4]
+
+    def test_negative_n_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_from_edges(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        assert g.number_of_edges() == 2
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_from_weighted_edges(self):
+        g = Graph.from_weighted_edges(3, [(0, 1, 2.5), (1, 2, 0.5)])
+        assert g.weighted
+        assert g.weight(0, 1) == 2.5
+        assert g.weight(2, 1) == 0.5
+
+    def test_networkit_aliases(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        assert g.numberOfNodes() == 3
+        assert g.numberOfEdges() == 1
+
+    def test_len(self):
+        assert len(Graph(7)) == 7
+
+
+class TestMutation:
+    def test_add_edge_symmetric(self):
+        g = Graph(3)
+        g.add_edge(0, 2)
+        assert g.has_edge(0, 2) and g.has_edge(2, 0)
+        assert g.degree(0) == 1 and g.degree(2) == 1
+
+    def test_add_duplicate_edge_is_idempotent(self):
+        g = Graph(2)
+        g.add_edge(0, 1)
+        g.add_edge(0, 1)
+        assert g.number_of_edges() == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph(2)
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_out_of_range_rejected(self):
+        g = Graph(2)
+        with pytest.raises(IndexError):
+            g.add_edge(0, 2)
+        with pytest.raises(IndexError):
+            g.add_edge(-1, 0)
+
+    def test_remove_edge(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2)])
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+        assert g.number_of_edges() == 1
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph(3)
+        with pytest.raises(KeyError):
+            g.remove_edge(0, 1)
+
+    def test_add_node(self):
+        g = Graph(2)
+        new = g.add_node()
+        assert new == 2
+        assert g.number_of_nodes() == 3
+
+    def test_add_nodes(self):
+        g = Graph(1)
+        g.add_nodes(4)
+        assert g.number_of_nodes() == 5
+
+    def test_update_edges_diff(self):
+        g = Graph.from_edges(4, [(0, 1), (1, 2)])
+        added, removed = g.update_edges(add=[(2, 3), (0, 1)], remove=[(1, 2)])
+        assert added == 1  # (0,1) already present
+        assert removed == 1
+        assert g.edge_set() == {(0, 1), (2, 3)}
+
+    def test_update_edges_remove_missing_is_noop(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        added, removed = g.update_edges(remove=[(1, 2)])
+        assert (added, removed) == (0, 0)
+
+    def test_set_weight(self):
+        g = Graph(2, weighted=True)
+        g.add_edge(0, 1, 1.0)
+        g.set_weight(0, 1, 3.0)
+        assert g.weight(1, 0) == 3.0
+
+    def test_set_weight_unweighted_rejected(self):
+        g = Graph.from_edges(2, [(0, 1)])
+        with pytest.raises(ValueError):
+            g.set_weight(0, 1, 2.0)
+
+    def test_weight_ignored_when_unweighted(self):
+        g = Graph(2)
+        g.add_edge(0, 1, weight=9.0)
+        assert g.weight(0, 1) == 1.0
+
+
+class TestQueries:
+    def test_degree_vector(self, star5):
+        assert star5.degrees().tolist() == [4, 1, 1, 1, 1]
+
+    def test_weighted_degree(self):
+        g = Graph.from_weighted_edges(3, [(0, 1, 2.0), (0, 2, 3.0)])
+        assert g.weighted_degree(0) == 5.0
+
+    def test_iter_edges_canonical(self, triangle):
+        edges = list(triangle.iter_edges())
+        assert all(u < v for u, v in edges)
+        assert len(edges) == 3
+
+    def test_edge_array(self, path4):
+        arr = path4.edge_array()
+        assert arr.shape == (3, 2)
+        assert set(map(tuple, arr.tolist())) == {(0, 1), (1, 2), (2, 3)}
+
+    def test_edge_array_empty(self):
+        assert Graph(3).edge_array().shape == (0, 2)
+
+    def test_total_edge_weight(self):
+        g = Graph.from_weighted_edges(3, [(0, 1, 2.0), (1, 2, 3.0)])
+        assert g.total_edge_weight() == 5.0
+
+    def test_neighbors(self, star5):
+        assert sorted(star5.neighbors(0)) == [1, 2, 3, 4]
+        assert list(star5.neighbors(1)) == [0]
+
+
+class TestDirected:
+    def test_directed_edges_one_way(self):
+        g = Graph(3, directed=True)
+        g.add_edge(0, 1)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+        assert g.degree(0) == 1
+        assert g.in_degree(1) == 1
+        assert g.in_degree(0) == 0
+
+    def test_in_neighbors(self):
+        g = Graph(3, directed=True)
+        g.add_edge(0, 2)
+        g.add_edge(1, 2)
+        assert sorted(g.in_neighbors(2)) == [0, 1]
+
+    def test_directed_remove(self):
+        g = Graph(2, directed=True)
+        g.add_edge(0, 1)
+        g.remove_edge(0, 1)
+        assert g.number_of_edges() == 0
+        assert list(g.in_neighbors(1)) == []
+
+
+class TestCopySubgraph:
+    def test_copy_independent(self, triangle):
+        c = triangle.copy()
+        c.remove_edge(0, 1)
+        assert triangle.has_edge(0, 1)
+        assert not c.has_edge(0, 1)
+
+    def test_subgraph(self, two_triangles):
+        sub, mapping = two_triangles.subgraph([3, 4, 5])
+        assert sub.number_of_nodes() == 3
+        assert sub.number_of_edges() == 3
+        assert mapping.tolist() == [3, 4, 5]
+
+    def test_subgraph_drops_external_edges(self, two_triangles):
+        sub, _ = two_triangles.subgraph([2, 3])
+        assert sub.number_of_edges() == 1  # only the bridge
+
+    def test_subgraph_dedupes(self, triangle):
+        sub, mapping = triangle.subgraph([0, 0, 1])
+        assert sub.number_of_nodes() == 2
+        assert mapping.tolist() == [0, 1]
+
+
+class TestCSRCache:
+    def test_csr_cached_until_mutation(self, triangle):
+        first = triangle.csr()
+        assert triangle.csr() is first
+        triangle.add_edge(0, 1)  # no-op edge... still invalidates? updates weight
+        triangle.remove_edge(0, 1)
+        assert triangle.csr() is not first
+
+    def test_csr_matches_graph(self, two_triangles):
+        csr = two_triangles.csr()
+        assert csr.n == 6
+        assert csr.m == 7
+        assert sorted(csr.neighbors(2).tolist()) == [0, 1, 3]
+        assert np.all(csr.degrees() == two_triangles.degrees())

@@ -1,0 +1,152 @@
+"""Unit tests for graph IO (METIS, edge list, GML)."""
+
+import pytest
+
+from repro.graphkit import Graph
+from repro.graphkit.io import (
+    Format,
+    read_edgelist,
+    read_gml,
+    read_graph,
+    read_metis,
+    readGraph,
+    write_edgelist,
+    write_gml,
+    write_graph,
+    write_metis,
+)
+
+
+@pytest.fixture
+def weighted_graph():
+    return Graph.from_weighted_edges(4, [(0, 1, 2.0), (1, 2, 0.5), (2, 3, 1.0)])
+
+
+class TestMetis:
+    def test_roundtrip(self, karate, tmp_path):
+        path = tmp_path / "karate.graph"
+        write_metis(karate, path)
+        loaded = read_metis(path)
+        assert loaded.number_of_nodes() == karate.number_of_nodes()
+        assert loaded.edge_set() == karate.edge_set()
+
+    def test_roundtrip_weighted(self, weighted_graph, tmp_path):
+        path = tmp_path / "w.graph"
+        write_metis(weighted_graph, path)
+        loaded = read_metis(path)
+        assert loaded.weighted
+        assert loaded.weight(1, 2) == 0.5
+
+    def test_comment_lines_skipped(self, tmp_path):
+        path = tmp_path / "c.graph"
+        path.write_text("% a comment\n3 2\n2 3\n1\n1\n")
+        g = read_metis(path)
+        assert g.number_of_edges() == 2
+        assert g.has_edge(0, 1) and g.has_edge(0, 2)
+
+    def test_header_mismatch_detected(self, tmp_path):
+        path = tmp_path / "bad.graph"
+        path.write_text("3 5\n2\n1\n\n")
+        with pytest.raises(ValueError):
+            read_metis(path)
+
+    def test_wrong_line_count_detected(self, tmp_path):
+        path = tmp_path / "bad2.graph"
+        path.write_text("3 1\n2\n1\n3\n2\n")
+        with pytest.raises(ValueError):
+            read_metis(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.graph"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            read_metis(path)
+
+    def test_directed_write_rejected(self, tmp_path):
+        g = Graph(2, directed=True)
+        g.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            write_metis(g, tmp_path / "d.graph")
+
+
+class TestEdgeList:
+    def test_roundtrip(self, karate, tmp_path):
+        path = tmp_path / "karate.edges"
+        write_edgelist(karate, path)
+        loaded = read_edgelist(path)
+        assert loaded.edge_set() == karate.edge_set()
+
+    def test_weighted_roundtrip(self, weighted_graph, tmp_path):
+        path = tmp_path / "w.edges"
+        write_edgelist(weighted_graph, path)
+        loaded = read_edgelist(path, weighted=True)
+        assert loaded.weight(1, 2) == 0.5
+
+    def test_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "c.edges"
+        path.write_text("# header\n\n0 1\n1 2\n")
+        assert read_edgelist(path).number_of_edges() == 2
+
+    def test_negative_id_rejected(self, tmp_path):
+        path = tmp_path / "neg.edges"
+        path.write_text("0 -1\n")
+        with pytest.raises(ValueError):
+            read_edgelist(path)
+
+    def test_malformed_rejected(self, tmp_path):
+        path = tmp_path / "bad.edges"
+        path.write_text("42\n")
+        with pytest.raises(ValueError):
+            read_edgelist(path)
+
+
+class TestGML:
+    def test_roundtrip(self, two_triangles, tmp_path):
+        path = tmp_path / "g.gml"
+        write_gml(two_triangles, path)
+        loaded = read_gml(path)
+        assert loaded.edge_set() == two_triangles.edge_set()
+
+    def test_weighted_roundtrip(self, weighted_graph, tmp_path):
+        path = tmp_path / "w.gml"
+        write_gml(weighted_graph, path)
+        loaded = read_gml(path)
+        assert loaded.weighted
+        assert loaded.weight(0, 1) == 2.0
+
+    def test_noncontiguous_ids_remapped(self, tmp_path):
+        path = tmp_path / "ids.gml"
+        path.write_text(
+            "graph [\n directed 0\n"
+            " node [ id 10 ]\n node [ id 20 ]\n"
+            " edge [ source 10 target 20 ]\n]\n"
+        )
+        g = read_gml(path)
+        assert g.number_of_nodes() == 2
+        assert g.has_edge(0, 1)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.gml"
+        path.write_text("digraph [ ]")
+        with pytest.raises(ValueError):
+            read_gml(path)
+
+
+class TestDispatcher:
+    def test_listing1_style_read(self, karate, tmp_path):
+        # Paper Listing 1: nk.readGraph("karate.graph", nk.Format.METIS)
+        path = tmp_path / "karate.graph"
+        write_graph(karate, path, Format.METIS)
+        g = readGraph(path, Format.METIS)
+        assert g.number_of_edges() == 78
+
+    def test_all_formats_roundtrip(self, two_triangles, tmp_path):
+        for fmt, name in [
+            (Format.METIS, "a.graph"),
+            (Format.EdgeList, "a.edges"),
+            (Format.GML, "a.gml"),
+        ]:
+            path = tmp_path / name
+            write_graph(two_triangles, path, fmt)
+            loaded = read_graph(path, fmt)
+            assert loaded.edge_set() == two_triangles.edge_set()

@@ -1,0 +1,159 @@
+"""Unit tests for layout algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.graphkit import Graph
+from repro.graphkit.layout import (
+    FruchtermanReingold,
+    MaxentStress,
+    fruchterman_reingold_layout,
+    maxent_stress_layout,
+    spectral_layout,
+)
+from repro.graphkit.generators import grid_2d, random_geometric
+
+
+def layout_stress(g, coords):
+    """Mean squared deviation from unit target distance over edges."""
+    err = 0.0
+    m = 0
+    for u, v in g.iter_edges():
+        d = np.linalg.norm(coords[u] - coords[v])
+        err += (d - 1.0) ** 2
+        m += 1
+    return err / max(m, 1)
+
+
+class TestMaxentStress:
+    def test_shape_and_finite(self, karate):
+        coords = maxent_stress_layout(karate, dim=3, k=2, seed=1)
+        assert coords.shape == (karate.number_of_nodes(), 3)
+        assert np.isfinite(coords).all()
+
+    def test_improves_over_random(self, karate):
+        rng = np.random.default_rng(0)
+        random_coords = rng.standard_normal((karate.number_of_nodes(), 3))
+        optimized = maxent_stress_layout(karate, dim=3, k=2, seed=1)
+        assert layout_stress(karate, optimized) < layout_stress(
+            karate, random_coords
+        )
+
+    def test_deterministic(self, karate):
+        a = maxent_stress_layout(karate, dim=3, seed=5)
+        b = maxent_stress_layout(karate, dim=3, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_warm_start_converges_faster(self, karate):
+        cold = maxent_stress_layout(karate, dim=3, seed=1)
+        warm = maxent_stress_layout(karate, dim=3, seed=2, initial=cold)
+        # Warm start must not blow up the layout scale.
+        assert np.isfinite(warm).all()
+        assert layout_stress(karate, warm) < 2 * layout_stress(karate, cold) + 1.0
+
+    def test_separates_non_adjacent(self):
+        # Two disjoint edges: entropy term must keep the pairs apart.
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        coords = maxent_stress_layout(g, dim=3, seed=3)
+        assert np.linalg.norm(coords[0] - coords[2]) > 0.05
+
+    def test_grid_geometry_recovered(self):
+        # On a 2D grid, corner-to-corner distance should clearly exceed
+        # the unit edge length (layout reflects graph geometry).
+        g = grid_2d(5, 5)
+        coords = maxent_stress_layout(g, dim=2, k=2, seed=1)
+        edge_len = np.mean(
+            [np.linalg.norm(coords[u] - coords[v]) for u, v in g.iter_edges()]
+        )
+        corner = np.linalg.norm(coords[0] - coords[24])
+        assert corner > 2.5 * edge_len
+
+    def test_runner_api_matches_listing1(self, karate):
+        # Paper Listing 1: nk.viz.MaxentStress(G, 3, 3).run().getCoordinates()
+        layout = MaxentStress(karate, 3, 3)
+        layout.run()
+        coords = layout.getCoordinates()
+        assert coords.shape == (karate.number_of_nodes(), 3)
+
+    def test_runner_requires_run(self, karate):
+        with pytest.raises(RuntimeError):
+            MaxentStress(karate, 3, 1).getCoordinates()
+
+    def test_empty_graph(self):
+        assert maxent_stress_layout(Graph(0), dim=3).shape == (0, 3)
+
+    def test_edgeless_graph(self):
+        coords = maxent_stress_layout(Graph(5), dim=2, seed=1)
+        assert coords.shape == (5, 2)
+        assert np.isfinite(coords).all()
+
+    def test_invalid_dim(self, triangle):
+        with pytest.raises(ValueError):
+            maxent_stress_layout(triangle, dim=0)
+
+    def test_bad_initial_shape(self, triangle):
+        with pytest.raises(ValueError):
+            maxent_stress_layout(triangle, dim=3, initial=np.zeros((2, 3)))
+
+    def test_no_repulsion_mode(self, karate):
+        coords = maxent_stress_layout(karate, dim=3, repulsion_samples=0, seed=1)
+        assert np.isfinite(coords).all()
+
+
+class TestFruchtermanReingold:
+    def test_shape(self, karate):
+        coords = fruchterman_reingold_layout(karate, dim=2, seed=1)
+        assert coords.shape == (karate.number_of_nodes(), 2)
+        assert np.isfinite(coords).all()
+
+    def test_adjacent_closer_than_random_pairs(self, karate):
+        coords = fruchterman_reingold_layout(karate, dim=2, seed=1, iterations=80)
+        edge_d = np.mean(
+            [np.linalg.norm(coords[u] - coords[v]) for u, v in karate.iter_edges()]
+        )
+        rng = np.random.default_rng(0)
+        pair_d = np.mean(
+            [
+                np.linalg.norm(coords[u] - coords[v])
+                for u, v in rng.integers(0, len(coords), size=(300, 2))
+                if u != v and not karate.has_edge(int(u), int(v))
+            ]
+        )
+        assert edge_d < pair_d
+
+    def test_sampled_mode_for_large_graph(self):
+        g = random_geometric(300, 0.12, seed=1)
+        coords = fruchterman_reingold_layout(
+            g, dim=3, seed=1, exact_threshold=100, iterations=10
+        )
+        assert coords.shape == (300, 3)
+        assert np.isfinite(coords).all()
+
+    def test_runner(self, triangle):
+        coords = FruchtermanReingold(triangle, 3).run().getCoordinates()
+        assert coords.shape == (3, 3)
+
+    def test_single_node(self):
+        assert fruchterman_reingold_layout(Graph(1), dim=2).shape == (1, 2)
+
+
+class TestSpectral:
+    def test_shape(self, karate):
+        coords = spectral_layout(karate, dim=2)
+        assert coords.shape == (karate.number_of_nodes(), 2)
+        assert np.isfinite(coords).all()
+
+    def test_path_orders_nodes(self):
+        g = Graph.from_edges(10, [(i, i + 1) for i in range(9)])
+        coords = spectral_layout(g, dim=1)
+        x = coords[:, 0]
+        # Fiedler vector of a path is monotone along the path.
+        assert np.all(np.diff(x) > 0) or np.all(np.diff(x) < 0)
+
+    def test_tiny_graph_fallback(self):
+        coords = spectral_layout(Graph.from_edges(2, [(0, 1)]), dim=3)
+        assert coords.shape == (2, 3)
+
+    def test_invalid_dim(self, triangle):
+        with pytest.raises(ValueError):
+            spectral_layout(triangle, dim=0)

@@ -1,0 +1,152 @@
+"""Unit tests for the Partition structure and NMI."""
+
+import numpy as np
+import pytest
+
+from repro.graphkit.community import (
+    Partition,
+    entropy,
+    mutual_information,
+    nmi,
+)
+from repro.graphkit.community.nmi import NMIDistance
+
+
+class TestPartition:
+    def test_singletons(self):
+        p = Partition(4)
+        assert p.number_of_subsets() == 4
+        assert p[2] == 2
+
+    def test_from_labels(self):
+        p = Partition([0, 0, 1, 1, 2])
+        assert p.number_of_subsets() == 3
+        assert p.subset_sizes() == {0: 2, 1: 2, 2: 1}
+
+    def test_negative_label_rejected(self):
+        with pytest.raises(ValueError):
+            Partition([0, -1])
+
+    def test_from_blocks(self):
+        p = Partition.from_blocks(5, [[0, 1], [2, 3]])
+        assert p[0] == p[1]
+        assert p[2] == p[3]
+        assert p.number_of_subsets() == 3  # node 4 gets a singleton
+
+    def test_from_blocks_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            Partition.from_blocks(3, [[0, 1], [1, 2]])
+
+    def test_from_blocks_out_of_range(self):
+        with pytest.raises(IndexError):
+            Partition.from_blocks(2, [[0, 5]])
+
+    def test_members_sorted(self):
+        p = Partition([1, 0, 1, 0])
+        assert p.members(1).tolist() == [0, 2]
+
+    def test_move_to_subset(self):
+        p = Partition([0, 0, 1])
+        p.move_to_subset(1, 0)
+        assert p[0] == 1
+        assert p.number_of_subsets() == 2
+
+    def test_compact_renumbers_by_first_appearance(self):
+        p = Partition([7, 7, 3, 9, 3]).compact()
+        assert p.labels().tolist() == [0, 0, 1, 2, 1]
+
+    def test_compact_empty(self):
+        assert len(Partition(0).compact()) == 0
+
+    def test_equality_up_to_relabeling(self):
+        assert Partition([5, 5, 2]) == Partition([0, 0, 1])
+        assert Partition([0, 1, 1]) != Partition([0, 0, 1])
+
+    def test_copy_independent(self):
+        p = Partition([0, 0, 1])
+        q = p.copy()
+        q.move_to_subset(1, 0)
+        assert p[0] == 0
+
+    def test_subsets_cover_all_nodes(self):
+        p = Partition([2, 0, 1, 0, 2])
+        flat = sorted(int(u) for block in p.subsets() for u in block)
+        assert flat == [0, 1, 2, 3, 4]
+
+
+class TestEntropy:
+    def test_uniform_two_blocks(self):
+        p = Partition([0, 0, 1, 1])
+        assert entropy(p) == pytest.approx(1.0)
+
+    def test_single_block_zero(self):
+        assert entropy(Partition([0, 0, 0])) == 0.0
+
+    def test_singletons_log_n(self):
+        assert entropy(Partition(8)) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert entropy(Partition(0)) == 0.0
+
+
+class TestNMI:
+    def test_identical_partitions(self):
+        p = Partition([0, 0, 1, 1, 2])
+        assert nmi(p, p) == pytest.approx(1.0)
+
+    def test_identical_up_to_relabeling(self):
+        a = Partition([0, 0, 1, 1])
+        b = Partition([5, 5, 3, 3])
+        assert nmi(a, b) == pytest.approx(1.0)
+
+    def test_independent_partitions_low(self):
+        a = Partition([0, 0, 1, 1])
+        b = Partition([0, 1, 0, 1])
+        assert nmi(a, b) == pytest.approx(0.0)
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a = Partition(rng.integers(0, 4, size=50))
+        b = Partition(rng.integers(0, 3, size=50))
+        assert nmi(a, b) == pytest.approx(nmi(b, a))
+
+    def test_range(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            a = Partition(rng.integers(0, 5, size=30))
+            b = Partition(rng.integers(0, 5, size=30))
+            v = nmi(a, b)
+            assert 0.0 <= v <= 1.0
+
+    def test_both_trivial_is_one(self):
+        a = Partition([0, 0, 0])
+        b = Partition([1, 1, 1])
+        assert nmi(a, b) == 1.0
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            nmi(Partition(3), Partition(4))
+
+    def test_unknown_normalization(self):
+        with pytest.raises(ValueError):
+            nmi(Partition(3), Partition(3), normalization="bogus")
+
+    def test_normalization_ordering(self):
+        # min-normalized >= max-normalized always (denominator ordering).
+        rng = np.random.default_rng(2)
+        a = Partition(rng.integers(0, 4, size=40))
+        b = Partition(rng.integers(0, 6, size=40))
+        assert nmi(a, b, normalization="min") >= nmi(a, b, normalization="max")
+
+    def test_matches_sklearn_formula(self):
+        # Verify against the arithmetic-normalized NMI computed by hand.
+        a = Partition([0, 0, 0, 1, 1, 1])
+        b = Partition([0, 0, 1, 1, 1, 1])
+        mi = mutual_information(a, b)
+        expected = mi / ((entropy(a) + entropy(b)) / 2)
+        assert nmi(a, b, normalization="arithmetic") == pytest.approx(expected)
+
+    def test_nmi_distance_runner(self):
+        a = Partition([0, 0, 1, 1])
+        d = NMIDistance().get_dissimilarity(None, a, a)
+        assert d == pytest.approx(0.0)

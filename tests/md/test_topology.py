@@ -1,0 +1,103 @@
+"""Unit tests for protein topology."""
+
+import numpy as np
+import pytest
+
+from repro.md import AMINO_ACIDS, SecondaryStructure, Topology
+from repro.md.elements import mass_of, vdw_radius_of
+
+
+class TestAminoAcids:
+    def test_twenty_standard(self):
+        assert len(AMINO_ACIDS) == 20
+
+    def test_glycine_smallest(self):
+        assert AMINO_ACIDS["G"].heavy_atom_count == 4
+
+    def test_tryptophan_largest(self):
+        counts = {c: aa.heavy_atom_count for c, aa in AMINO_ACIDS.items()}
+        assert max(counts, key=counts.get) == "W"
+        assert counts["W"] == 14
+
+    def test_three_letter_codes_unique(self):
+        threes = [aa.three for aa in AMINO_ACIDS.values()]
+        assert len(set(threes)) == 20
+
+    def test_elements_known(self):
+        for aa in AMINO_ACIDS.values():
+            for _, element in aa.sidechain_atoms:
+                assert mass_of(element) > 0
+                assert vdw_radius_of(element) > 0
+
+
+class TestTopology:
+    def test_from_sequence_counts(self):
+        topo = Topology.from_sequence("GAV")
+        # G=4, A=5, V=7 heavy atoms
+        assert topo.n_residues == 3
+        assert topo.n_atoms == 16
+
+    def test_sequence_roundtrip(self):
+        topo = Topology.from_sequence("MKVIF")
+        assert topo.sequence == "MKVIF"
+
+    def test_invalid_code_rejected(self):
+        with pytest.raises(ValueError):
+            Topology.from_sequence("AXZ")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Topology.from_sequence("")
+
+    def test_secondary_defaults_to_coil(self):
+        topo = Topology.from_sequence("AAA")
+        assert topo.secondary == "CCC"
+
+    def test_secondary_validation(self):
+        with pytest.raises(ValueError):
+            Topology.from_sequence("AAA", secondary="HH")  # wrong length
+        with pytest.raises(ValueError):
+            Topology.from_sequence("AAA", secondary="HHX")  # bad code
+
+    def test_atom_order_backbone_first(self):
+        topo = Topology.from_sequence("A")
+        names = [a.name for a in topo.atoms]
+        assert names == ["N", "CA", "C", "O", "CB"]
+
+    def test_ca_indices(self):
+        topo = Topology.from_sequence("GA")
+        ca = topo.ca_indices()
+        assert len(ca) == 2
+        assert all(topo.atoms[i].name == "CA" for i in ca)
+
+    def test_atom_residue_map_contiguous(self):
+        topo = Topology.from_sequence("GAV")
+        owner = topo.atom_residue_map()
+        assert (np.diff(owner) >= 0).all()
+        assert owner[0] == 0 and owner[-1] == 2
+
+    def test_residue_atom_slices_partition_atoms(self):
+        topo = Topology.from_sequence("MKV")
+        slices = topo.residue_atom_slices()
+        covered = []
+        for start, stop in slices:
+            covered.extend(range(start, stop))
+        assert covered == list(range(topo.n_atoms))
+
+    def test_segments(self):
+        topo = Topology.from_sequence("AAAAAA", secondary="CHHECC")
+        assert topo.segments() == [
+            ("C", 0, 1),
+            ("H", 1, 3),
+            ("E", 3, 4),
+            ("C", 4, 6),
+        ]
+
+    def test_helix_partition_labels(self):
+        topo = Topology.from_sequence("AAAAAAAA", secondary="CHHCCEEC")
+        labels = topo.helix_partition()
+        assert labels.tolist() == [0, 1, 1, 0, 0, 2, 2, 0]
+
+    def test_masses_positive(self):
+        topo = Topology.from_sequence("WY")
+        assert (topo.atom_masses() > 0).all()

@@ -1,0 +1,140 @@
+"""Unit tests for RIN domain analyses + time series."""
+
+import numpy as np
+import pytest
+
+from repro.graphkit.community import Partition
+from repro.md import proteins
+from repro.rin import (
+    build_rin,
+    community_structure_overlap,
+    hubs,
+    measure_over_trajectory,
+    top_central_residues,
+    topology_over_trajectory,
+)
+
+
+@pytest.fixture(scope="module")
+def a3d_rin():
+    topo, native = proteins.build("A3D")
+    return topo, build_rin(topo, native, 4.5)
+
+
+class TestHubs:
+    def test_default_threshold(self, a3d_rin):
+        _, g = a3d_rin
+        h = hubs(g)
+        degrees = g.degrees()
+        for u in h:
+            assert degrees[u] >= degrees.mean() + 2 * degrees.std() - 1e-9
+
+    def test_explicit_threshold(self, a3d_rin):
+        _, g = a3d_rin
+        h = hubs(g, threshold=1)
+        assert len(h) == int((g.degrees() >= 1).sum())
+
+    def test_cutoff_changes_hub_count(self, a3d_traj):
+        # §IV: cut-off changes "drastically alter ... the number of hubs".
+        topo = a3d_traj.topology
+        g_low = build_rin(topo, a3d_traj.frame(0), 3.0)
+        g_high = build_rin(topo, a3d_traj.frame(0), 10.0)
+        assert len(hubs(g_low, threshold=10)) < len(hubs(g_high, threshold=10))
+
+
+class TestTopCentral:
+    def test_betweenness_ranking(self, a3d_rin):
+        _, g = a3d_rin
+        top = top_central_residues(g, measure="betweenness", k=5)
+        assert len(top) == 5
+        scores = [s for _, s in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_closeness_ranking(self, a3d_rin):
+        _, g = a3d_rin
+        top = top_central_residues(g, measure="closeness", k=3)
+        assert len(top) == 3
+
+    def test_invalid(self, a3d_rin):
+        _, g = a3d_rin
+        with pytest.raises(ValueError):
+            top_central_residues(g, measure="typo")
+        with pytest.raises(ValueError):
+            top_central_residues(g, k=0)
+
+
+class TestStructureOverlap:
+    def test_fig3_claim_on_a3d(self, a3d_rin):
+        """Figure 3: PLM communities reflect the three α-helices."""
+        topo, g = a3d_rin
+        ov = community_structure_overlap(g, topo)
+        assert ov.n_segments == 3
+        assert ov.nmi > 0.5
+        assert ov.purity > 0.6
+
+    def test_beats_random_partition(self, a3d_rin):
+        topo, g = a3d_rin
+        rng = np.random.default_rng(0)
+        random_part = Partition(rng.integers(0, 4, size=73))
+        ov_plm = community_structure_overlap(g, topo)
+        ov_rand = community_structure_overlap(g, topo, partition=random_part)
+        assert ov_plm.nmi > ov_rand.nmi + 0.2
+
+    def test_explicit_partition_used(self, a3d_rin):
+        topo, g = a3d_rin
+        perfect = Partition(topo.helix_partition())
+        ov = community_structure_overlap(g, topo, partition=perfect)
+        assert ov.nmi == pytest.approx(1.0)
+        assert ov.purity == pytest.approx(1.0)
+
+    def test_all_coil_protein(self):
+        from repro.md import Topology
+        from repro.graphkit import Graph
+
+        topo = Topology.from_sequence("AAAA")
+        g = Graph.from_edges(4, [(0, 1), (1, 2), (2, 3)])
+        ov = community_structure_overlap(g, topo)
+        assert ov.n_segments == 0
+        assert ov.nmi == 0.0
+
+
+class TestTimeSeries:
+    def test_measure_series_shape(self, a3d_traj):
+        series = measure_over_trajectory(
+            a3d_traj, "Degree Centrality", 4.5, frames=np.arange(5)
+        )
+        assert series.values.shape == (5, 73)
+        assert series.n_frames == 5
+
+    def test_series_statistics(self, a3d_traj):
+        series = measure_over_trajectory(
+            a3d_traj, "Degree Centrality", 4.5, frames=np.arange(6)
+        )
+        assert series.per_residue_mean().shape == (73,)
+        assert (series.per_residue_std() >= 0).all()
+        assert len(series.most_variable(4)) == 4
+
+    def test_frame_zero_matches_direct(self, a3d_traj):
+        from repro.rin import get_measure
+
+        series = measure_over_trajectory(
+            a3d_traj, "Closeness Centrality", 4.5, frames=np.array([0])
+        )
+        direct = get_measure("Closeness Centrality")(
+            build_rin(a3d_traj.topology, a3d_traj.frame(0), 4.5)
+        )
+        assert np.allclose(series.values[0], direct)
+
+    def test_topology_series(self, a3d_traj):
+        stats = topology_over_trajectory(a3d_traj, 4.5)
+        assert stats["edges"].shape == (a3d_traj.n_frames,)
+        assert (stats["edges"] > 0).all()
+        assert (stats["components"] >= 1).all()
+        assert np.allclose(
+            stats["mean_degree"], 2 * stats["edges"] / 73, atol=1e-9
+        )
+
+    def test_cutoff_affects_component_series(self, a3d_traj):
+        low = topology_over_trajectory(a3d_traj, 2.5)
+        high = topology_over_trajectory(a3d_traj, 10.0)
+        assert low["components"].mean() >= high["components"].mean()

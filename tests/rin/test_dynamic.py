@@ -1,0 +1,99 @@
+"""Unit tests for incremental RIN updates (the widget's edge-update path)."""
+
+import numpy as np
+import pytest
+
+from repro.rin import DynamicRIN, build_rin
+
+
+class TestDynamicRIN:
+    def test_initial_state(self, a3d_traj):
+        rin = DynamicRIN(a3d_traj, frame=0, cutoff=4.5)
+        ref = build_rin(a3d_traj.topology, a3d_traj.frame(0), 4.5)
+        assert rin.graph.edge_set() == ref.edge_set()
+        assert rin.frame == 0
+        assert rin.cutoff == 4.5
+
+    def test_cutoff_increase_only_adds(self, a3d_traj):
+        rin = DynamicRIN(a3d_traj, cutoff=4.0)
+        update = rin.set_cutoff(6.0)
+        assert update.removed == 0
+        assert update.added > 0
+
+    def test_cutoff_decrease_only_removes(self, a3d_traj):
+        rin = DynamicRIN(a3d_traj, cutoff=6.0)
+        update = rin.set_cutoff(4.0)
+        assert update.added == 0
+        assert update.removed > 0
+
+    def test_cutoff_roundtrip_identity(self, a3d_traj):
+        rin = DynamicRIN(a3d_traj, cutoff=4.5)
+        before = rin.graph.edge_set()
+        rin.set_cutoff(9.0)
+        rin.set_cutoff(4.5)
+        assert rin.graph.edge_set() == before
+
+    @pytest.mark.parametrize("cutoff", [3.0, 4.5, 7.0, 10.0])
+    def test_incremental_equals_rebuild_cutoff(self, a3d_traj, cutoff):
+        rin = DynamicRIN(a3d_traj, cutoff=5.0)
+        rin.set_cutoff(cutoff)
+        ref = build_rin(a3d_traj.topology, a3d_traj.frame(0), cutoff)
+        assert rin.graph.edge_set() == ref.edge_set()
+
+    @pytest.mark.parametrize("frame", [1, 5, 11])
+    def test_incremental_equals_rebuild_frame(self, a3d_traj, frame):
+        rin = DynamicRIN(a3d_traj, frame=0, cutoff=4.5)
+        rin.set_frame(frame)
+        ref = build_rin(a3d_traj.topology, a3d_traj.frame(frame), 4.5)
+        assert rin.graph.edge_set() == ref.edge_set()
+
+    def test_frame_switch_reports_diff(self, a3d_traj):
+        rin = DynamicRIN(a3d_traj, frame=0, cutoff=4.5)
+        update = rin.set_frame(6)
+        # Thermal motion must change some contacts but not all of them.
+        assert 0 < update.total < rin.graph.number_of_edges() * 2
+
+    def test_graph_object_is_stable(self, a3d_traj):
+        # The widget keeps a handle on the graph; updates mutate in place.
+        rin = DynamicRIN(a3d_traj, cutoff=4.5)
+        handle = rin.graph
+        rin.set_cutoff(8.0)
+        rin.set_frame(3)
+        assert rin.graph is handle
+
+    def test_set_state_atomic(self, a3d_traj):
+        rin = DynamicRIN(a3d_traj, frame=0, cutoff=4.5)
+        update = rin.set_state(frame=7, cutoff=8.0)
+        ref = build_rin(a3d_traj.topology, a3d_traj.frame(7), 8.0)
+        assert rin.graph.edge_set() == ref.edge_set()
+        assert update.total > 0
+        assert rin.frame == 7 and rin.cutoff == 8.0
+
+    def test_positions_follow_frame(self, a3d_traj):
+        rin = DynamicRIN(a3d_traj, frame=0, cutoff=4.5)
+        p0 = rin.positions().copy()
+        rin.set_frame(5)
+        p5 = rin.positions()
+        assert p0.shape == (73, 3)
+        assert not np.allclose(p0, p5)
+
+    def test_invalid_cutoff(self, a3d_traj):
+        with pytest.raises(ValueError):
+            DynamicRIN(a3d_traj, cutoff=0.0)
+        rin = DynamicRIN(a3d_traj, cutoff=4.5)
+        with pytest.raises(ValueError):
+            rin.set_cutoff(-1.0)
+
+    def test_invalid_frame(self, a3d_traj):
+        rin = DynamicRIN(a3d_traj, cutoff=4.5)
+        with pytest.raises(IndexError):
+            rin.set_frame(999)
+        # Failed update must leave the state untouched.
+        assert rin.frame == 0
+
+    def test_rebuild_matches_incremental(self, a3d_traj):
+        rin = DynamicRIN(a3d_traj, frame=0, cutoff=4.5)
+        rin.set_frame(4)
+        rin.set_cutoff(7.5)
+        incremental = rin.graph.edge_set()
+        assert rin.rebuild().edge_set() == incremental

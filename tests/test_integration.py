@@ -1,0 +1,172 @@
+"""Full-stack integration tests: every layer working together.
+
+These are the end-to-end stories the paper tells: a domain scientist logs
+into the cloud JupyterHub, opens the RIN widget on an MD trajectory,
+drags sliders, reads measures, and feeds features to downstream ML.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    CloudSession,
+    Gateway,
+    JupyterHub,
+    ServiceProxy,
+    build_paper_cluster,
+    default_research_acl,
+)
+from repro.core import EventKind, RINExplorer, SessionScript
+from repro.embeddings import Node2Vec
+from repro.graphkit.community import nmi
+from repro.md import generate_trajectory, proteins
+from repro.rin import PAPER_MEASURES, build_rin, get_measure
+from repro.vizbridge import figure_from_dict_roundtrip
+
+
+class TestScientistWorkflow:
+    """The §IV/§V story: explore a protein's RIN interactively."""
+
+    def test_full_exploration_session(self):
+        app = RINExplorer("NTL9", n_frames=10, cutoff=4.5, seed=3)
+        widget = app.widget
+
+        # Sweep every measure like the Figure 6 benchmark.
+        app.replay(SessionScript.sweep_measures(PAPER_MEASURES))
+        # Explore the cut-off like Figure 7.
+        app.replay(SessionScript.sweep_cutoffs([3.5, 6.0, 9.0]))
+        # Scrub the trajectory like Figure 8.
+        app.replay(SessionScript.sweep_frames([2, 5, 9]))
+
+        log = widget.log
+        assert len(log.of_kind(EventKind.MEASURE_SWITCH)) >= 6
+        assert len(log.of_kind(EventKind.CUTOFF_SWITCH)) == 3
+        assert len(log.of_kind(EventKind.FRAME_SWITCH)) == 3
+        # Every event produced a valid timing decomposition.
+        for t in log.entries:
+            assert t.total_ms >= t.server_ms >= 0
+        # Figures remain consistent with the final state.
+        g = widget.graph
+        assert widget.maxent_figure.trace(1).n_elements() == g.number_of_edges()
+        # And serialize to valid plotly JSON end-to-end.
+        payload = figure_from_dict_roundtrip(widget.maxent_figure)
+        assert len(payload["data"]) == 2
+
+    def test_measures_consistent_between_widget_and_direct(self):
+        app = RINExplorer("2JOF", n_frames=5, cutoff=6.0, seed=1)
+        app.widget.measure_slider.value = "Katz Centrality"
+        direct = get_measure("Katz Centrality")(
+            build_rin(
+                app.trajectory.topology, app.trajectory.frame(0), 6.0
+            )
+        )
+        assert np.allclose(app.widget.scores, direct)
+
+
+class TestCloudWorkflow:
+    """The §III story: multi-user cloud service with egress control."""
+
+    def test_three_users_full_stack(self):
+        cluster = build_paper_cluster(workers=3)
+        hub = JupyterHub(cluster)
+        cluster.clock.advance(30)
+        proxy = ServiceProxy(cluster)
+        gateway = Gateway(cluster, rules=default_research_acl())
+
+        sessions = []
+        for i, protein in enumerate(("A3D", "2JOF", "NTL9")):
+            hub.register_user(f"sci{i}", "pw")
+            sessions.append(
+                CloudSession(
+                    hub, proxy, f"sci{i}", "pw", protein=protein, n_frames=4
+                )
+            )
+        cluster.clock.advance(30)
+
+        # Each scientist interacts; latency includes all three shares.
+        for s in sessions:
+            r = s.switch_cutoff(6.0)
+            assert r.total_ms > 0
+            assert r.slowdown == pytest.approx(1.0)
+
+        # One pod fetches a PDB structure through the firewall; an
+        # unapproved destination is blocked and logged.
+        gateway.egress(sessions[0].pod.name, "files.rcsb.org", 443)
+        from repro.cloud import EgressDenied
+
+        with pytest.raises(EgressDenied):
+            gateway.egress(sessions[0].pod.name, "exfil.example.com")
+        assert len(gateway.denied_attempts()) == 1
+
+        # Sessions wind down; pods disappear; the cluster frees capacity.
+        for s in sessions:
+            s.close()
+        assert hub.active_users == []
+        for node in cluster.workers():
+            # Only the hub pod remains allocated somewhere.
+            assert node.allocated.cpu_milli <= 2000
+
+    def test_worker_failure_mid_session(self):
+        cluster = build_paper_cluster(workers=2)
+        hub = JupyterHub(cluster)
+        cluster.clock.advance(30)
+        proxy = ServiceProxy(cluster)
+        hub.register_user("resilient", "pw")
+        session = CloudSession(
+            hub, proxy, "resilient", "pw", protein="2JOF", n_frames=4
+        )
+        cluster.clock.advance(30)
+        assert session.switch_cutoff(5.0).total_ms > 0
+        # The hosting worker dies; the pod reschedules and recovers.
+        cluster.fail_node(session.pod.node)
+        cluster.clock.advance(30)
+        assert session.pod.running
+        assert session.switch_frame(1).total_ms > 0
+
+
+class TestMLWorkflow:
+    """The §VII story: RIN features into an ML pipeline."""
+
+    def test_rin_to_embedding_to_clustering(self):
+        topo, native = proteins.build("A3D")
+        traj = generate_trajectory(topo, native, 6, seed=2)
+        g = build_rin(topo, traj.frame(0), 4.5)
+        features = Node2Vec(
+            g, dimensions=12, walks_per_node=6, walk_length=20, seed=1
+        ).run().get_features()
+        assert features.shape == (73, 12)
+
+        # Downstream: do embeddings carry the community signal?
+        from repro.graphkit.community import PLM, Partition
+
+        plm = PLM(g, seed=1).run().get_partition()
+        # Assign each node to its nearest community centroid in embedding
+        # space; should agree with PLM far better than chance.
+        centroids = {
+            b: features[plm.members(b)].mean(axis=0)
+            for b in range(plm.number_of_subsets())
+        }
+        assigned = [
+            min(
+                centroids,
+                key=lambda b: float(
+                    np.linalg.norm(features[u] - centroids[b])
+                ),
+            )
+            for u in range(73)
+        ]
+        agreement = nmi(Partition(assigned), plm)
+        assert agreement > 0.5
+
+    def test_measure_timeseries_as_ml_features(self):
+        from repro.rin import measure_over_trajectory
+
+        topo, native = proteins.build("2JOF")
+        traj = generate_trajectory(topo, native, 8, seed=4)
+        series = measure_over_trajectory(
+            traj, "Degree Centrality", 6.0, frames=np.arange(8)
+        )
+        # A (frames × residues) feature matrix, finite, non-degenerate.
+        assert series.values.shape == (8, 20)
+        assert np.isfinite(series.values).all()
+        assert series.per_residue_std().max() > 0

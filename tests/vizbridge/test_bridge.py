@@ -1,0 +1,181 @@
+"""Unit tests for plotlybridge, palettes, serialization, Gephi streaming."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.graphkit import Graph
+from repro.graphkit.centrality import Betweenness
+from repro.vizbridge import (
+    CATEGORICAL,
+    SPECTRAL,
+    GephiStreamingClient,
+    GephiWorkspace,
+    estimate_payload_bytes,
+    figure_from_dict_roundtrip,
+    figure_to_json,
+    graph_traces,
+    interpolate_palette,
+    labels_to_colors,
+    plotly_widget,
+    plotlyWidget,
+    scores_to_colors,
+)
+
+
+class TestPalettes:
+    def test_interpolate_endpoints(self):
+        colors = interpolate_palette(SPECTRAL, np.array([0.0, 1.0]))
+        assert colors[0] == SPECTRAL[0]
+        assert colors[-1] == SPECTRAL[-1]
+
+    def test_interpolate_clamps(self):
+        colors = interpolate_palette(SPECTRAL, np.array([-5.0, 5.0]))
+        assert colors == [SPECTRAL[0], SPECTRAL[-1]]
+
+    def test_scores_to_colors_range(self):
+        colors = scores_to_colors(np.array([0.0, 0.5, 1.0]))
+        assert len(colors) == 3
+        assert colors[0] == SPECTRAL[0]
+        assert colors[2] == SPECTRAL[-1]
+
+    def test_constant_scores_midpoint(self):
+        colors = scores_to_colors(np.ones(4))
+        assert len(set(colors)) == 1
+
+    def test_explicit_vmin_vmax(self):
+        a = scores_to_colors(np.array([5.0]), vmin=0.0, vmax=10.0)
+        b = interpolate_palette(SPECTRAL, np.array([0.5]))
+        assert a == b
+
+    def test_labels_to_colors_distinct(self):
+        colors = labels_to_colors(np.array([0, 1, 2, 0]))
+        assert colors[0] == colors[3]
+        assert len({colors[0], colors[1], colors[2]}) == 3
+
+    def test_labels_cycle(self):
+        colors = labels_to_colors(np.array([0, len(CATEGORICAL)]))
+        assert colors[0] == colors[1]
+
+    def test_float_labels_accepted_if_integral(self):
+        assert labels_to_colors(np.array([0.0, 1.0]))
+        with pytest.raises(ValueError):
+            labels_to_colors(np.array([0.5]))
+
+    def test_bad_palette(self):
+        with pytest.raises(ValueError):
+            interpolate_palette(["#123456"], np.array([0.5]))
+
+
+class TestPlotlyWidget:
+    @pytest.fixture
+    def g(self, karate):
+        return karate
+
+    def test_listing1_flow(self, g):
+        # Paper Listing 1: compute scores, hand G + scores to plotlyWidget.
+        scores = Betweenness(g).run().scores()
+        fig = plotlyWidget(g, scores)
+        assert fig.n_traces == 2
+        nodes, edges = fig.data
+        assert nodes.n_points == g.number_of_nodes()
+        assert edges.n_elements() == g.number_of_edges()
+
+    def test_without_scores(self, g):
+        fig = plotly_widget(g)
+        assert fig.trace(0).marker.color == "#3288bd"
+
+    def test_explicit_coords_skip_layout(self, g):
+        coords = np.zeros((g.number_of_nodes(), 3))
+        fig = plotly_widget(g, coords=coords)
+        assert fig.trace(0).x == [0.0] * g.number_of_nodes()
+
+    def test_categorical_coloring(self, g):
+        labels = np.zeros(g.number_of_nodes())
+        labels[:5] = 1
+        fig = plotly_widget(g, labels, categorical=True)
+        colors = fig.trace(0).marker.color
+        assert len(set(colors)) == 2
+
+    def test_score_shape_checked(self, g):
+        with pytest.raises(ValueError):
+            plotly_widget(g, np.zeros(3))
+
+    def test_coords_shape_checked(self, g):
+        with pytest.raises(ValueError):
+            graph_traces(g, np.zeros((2, 3)))
+
+    def test_hover_text_includes_scores(self, g):
+        scores = np.arange(float(g.number_of_nodes()))
+        fig = plotly_widget(g, scores)
+        assert "node 0" in fig.trace(0).text[0]
+
+    def test_empty_graph(self):
+        fig = plotly_widget(Graph(0))
+        assert fig.trace(0).n_points == 0
+
+
+class TestSerialization:
+    def test_json_roundtrip(self, karate):
+        fig = plotly_widget(karate, np.arange(float(karate.number_of_nodes())))
+        data = figure_from_dict_roundtrip(fig)
+        assert data["data"][0]["type"] == "scatter3d"
+        assert len(data["data"][0]["x"]) == karate.number_of_nodes()
+
+    def test_payload_bytes_positive_and_scales(self, karate):
+        small = plotly_widget(Graph.from_edges(3, [(0, 1)]))
+        big = plotly_widget(karate)
+        assert 0 < estimate_payload_bytes(small) < estimate_payload_bytes(big)
+
+    def test_json_is_valid(self, karate):
+        parsed = json.loads(figure_to_json(plotly_widget(karate)))
+        assert "layout" in parsed
+
+
+class TestGephi:
+    def test_export_roundtrip(self, karate):
+        ws = GephiWorkspace()
+        client = GephiStreamingClient(ws)
+        client.export_graph(karate)
+        assert len(ws.nodes) == karate.number_of_nodes()
+        assert len(ws.edges) == karate.number_of_edges()
+
+    def test_score_updates(self, karate):
+        ws = GephiWorkspace()
+        client = GephiStreamingClient(ws)
+        client.export_graph(karate, scores=np.zeros(karate.number_of_nodes()))
+        client.update_scores(np.arange(float(karate.number_of_nodes())))
+        assert ws.nodes["5"]["score"] == 5.0
+
+    def test_edge_add_remove(self):
+        g = Graph.from_edges(3, [(0, 1)])
+        ws = GephiWorkspace()
+        client = GephiStreamingClient(ws)
+        client.export_graph(g)
+        client.add_edges([(1, 2)])
+        assert "1-2" in ws.edges
+        client.remove_edges([(0, 1)])
+        assert "0-1" not in ws.edges
+
+    def test_change_unknown_node_rejected(self):
+        ws = GephiWorkspace()
+        with pytest.raises(KeyError):
+            ws.apply(json.dumps({"cn": {"99": {"score": 1.0}}}))
+
+    def test_unknown_op_rejected(self):
+        ws = GephiWorkspace()
+        with pytest.raises(ValueError):
+            ws.apply(json.dumps({"xx": {}}))
+
+    def test_event_lines_are_json(self, karate):
+        client = GephiStreamingClient()
+        lines = client.export_graph(karate)
+        for line in lines[:10]:
+            json.loads(line)
+
+    def test_standalone_client_records(self):
+        client = GephiStreamingClient()
+        g = Graph.from_edges(2, [(0, 1)])
+        client.export_graph(g)
+        assert len(client.sent) == 3  # 2 nodes + 1 edge

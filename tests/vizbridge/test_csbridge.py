@@ -1,0 +1,69 @@
+"""Unit tests for the csbridge (Cytoscape.js 2-D) adapter."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.vizbridge import cytoscape_widget
+
+
+class TestCytoscapeWidget:
+    def test_element_counts(self, karate):
+        w = cytoscape_widget(karate)
+        assert len(w.nodes) == karate.number_of_nodes()
+        assert len(w.edges) == karate.number_of_edges()
+
+    def test_json_schema(self, karate):
+        payload = cytoscape_widget(karate).to_json()
+        json.dumps(payload)  # serializable
+        assert payload["layout"]["name"] == "preset"
+        node = payload["elements"][0]
+        assert node["group"] == "nodes"
+        assert "position" in node
+        assert "id" in node["data"]
+
+    def test_edges_reference_nodes(self, two_triangles):
+        w = cytoscape_widget(two_triangles)
+        node_ids = {n["data"]["id"] for n in w.nodes}
+        for e in w.edges:
+            assert e["data"]["source"] in node_ids
+            assert e["data"]["target"] in node_ids
+
+    def test_scores_color_nodes(self, karate):
+        scores = np.arange(float(karate.number_of_nodes()))
+        w = cytoscape_widget(karate, scores)
+        colors = {n["data"]["color"] for n in w.nodes}
+        assert len(colors) > 5
+        assert w.nodes[0]["data"]["score"] == 0.0
+
+    def test_categorical_scores(self, karate):
+        labels = np.zeros(karate.number_of_nodes())
+        labels[:10] = 1
+        w = cytoscape_widget(karate, labels, categorical=True)
+        colors = {n["data"]["color"] for n in w.nodes}
+        assert len(colors) == 2
+
+    def test_explicit_coords(self, triangle):
+        coords = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        w = cytoscape_widget(triangle, coords=coords)
+        assert w.nodes[1]["position"]["x"] == 500.0
+
+    def test_shape_validation(self, triangle):
+        with pytest.raises(ValueError):
+            cytoscape_widget(triangle, coords=np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            cytoscape_widget(triangle, np.zeros(5))
+
+    def test_set_scores_recolors(self, karate):
+        n = karate.number_of_nodes()
+        w = cytoscape_widget(karate, np.zeros(n))
+        before = [node["data"]["color"] for node in w.nodes]
+        w.set_scores(np.arange(float(n)))
+        after = [node["data"]["color"] for node in w.nodes]
+        assert before != after
+
+    def test_set_scores_length_checked(self, karate):
+        w = cytoscape_widget(karate)
+        with pytest.raises(ValueError):
+            w.set_scores([1.0, 2.0])

@@ -1,0 +1,170 @@
+"""Unit tests for trace objects and the figure widget."""
+
+import numpy as np
+import pytest
+
+from repro.vizbridge import (
+    FigureWidget,
+    Layout,
+    Line,
+    Marker,
+    Scatter,
+    Scatter3d,
+)
+
+
+class TestScatter3d:
+    def test_basic(self):
+        t = Scatter3d(x=[1, 2], y=[3, 4], z=[5, 6])
+        assert t.n_points == 2
+        assert t.n_elements() == 2
+
+    def test_numpy_input(self):
+        t = Scatter3d(x=np.arange(3.0), y=np.arange(3.0), z=np.arange(3.0))
+        assert t.x == [0.0, 1.0, 2.0]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Scatter3d(x=[1, 2], y=[3], z=[5, 6])
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            Scatter3d(x=[1], y=[1], z=[1], mode="sparkles")
+
+    def test_line_elements_count_segments(self):
+        # Two edges with None separators: 2 segments, not 6 points.
+        t = Scatter3d(
+            x=[0, 1, None, 2, 3, None],
+            y=[0, 1, None, 2, 3, None],
+            z=[0, 1, None, 2, 3, None],
+            mode="lines",
+        )
+        assert t.n_elements() == 2
+
+    def test_marker_elements_skip_none(self):
+        t = Scatter3d(x=[0, None, 1], y=[0, None, 1], z=[0, None, 1])
+        assert t.n_elements() == 2
+
+    def test_set_positions(self):
+        t = Scatter3d(x=[0], y=[0], z=[0])
+        t.set_positions(x=[9], y=[8], z=[7])
+        assert (t.x, t.y, t.z) == ([9], [8], [7])
+
+    def test_set_positions_unknown_dim(self):
+        t = Scatter3d(x=[0], y=[0], z=[0])
+        with pytest.raises(ValueError):
+            t.set_positions(w=[1])
+
+    def test_set_colors(self):
+        t = Scatter3d(x=[0, 1], y=[0, 1], z=[0, 1])
+        t.set_colors(["#ff0000", "#00ff00"])
+        assert t.marker.color == ["#ff0000", "#00ff00"]
+
+    def test_to_dict_plotly_schema(self):
+        t = Scatter3d(
+            x=[1], y=[2], z=[3], mode="markers", text=["a"],
+            marker=Marker(size=4, color="#123456"),
+        )
+        d = t.to_dict()
+        assert d["type"] == "scatter3d"
+        assert d["x"] == [1] and d["z"] == [3]
+        assert d["marker"]["size"] == 4
+        assert d["text"] == ["a"]
+
+    def test_text_length_checked(self):
+        with pytest.raises(ValueError):
+            Scatter3d(x=[1, 2], y=[1, 2], z=[1, 2], text=["only-one"])
+
+
+class TestScatter2d:
+    def test_dims(self):
+        t = Scatter(x=[1, 2], y=[3, 4], mode="lines")
+        d = t.to_dict()
+        assert d["type"] == "scatter"
+        assert "z" not in d
+
+
+class TestMarkerLine:
+    def test_marker_opacity_validated(self):
+        with pytest.raises(ValueError):
+            Marker(opacity=1.5)
+
+    def test_line_width_validated(self):
+        with pytest.raises(ValueError):
+            Line(width=-1)
+
+    def test_marker_dict_with_color_array(self):
+        m = Marker(color=["#aaa111", "#bbb222"], colorscale="Spectral")
+        d = m.to_dict()
+        assert d["color"] == ["#aaa111", "#bbb222"]
+        assert d["colorscale"] == "Spectral"
+
+
+class TestFigureWidget:
+    def test_add_traces(self):
+        fig = FigureWidget()
+        fig.add_traces(Scatter3d(x=[0], y=[0], z=[0]))
+        assert fig.n_traces == 1
+
+    def test_add_traces_type_checked(self):
+        with pytest.raises(TypeError):
+            FigureWidget().add_traces("not-a-trace")
+
+    def test_n_elements_sums(self):
+        fig = FigureWidget()
+        fig.add_traces(
+            Scatter3d(x=[0, 1], y=[0, 1], z=[0, 1]),
+            Scatter3d(
+                x=[0, 1, None], y=[0, 1, None], z=[0, 1, None], mode="lines"
+            ),
+        )
+        assert fig.n_elements() == 3
+
+    def test_restyle_tracks_stats(self):
+        fig = FigureWidget()
+        fig.add_traces(Scatter3d(x=[0, 1, 2], y=[0, 1, 2], z=[0, 1, 2]))
+        fig.restyle_colors(0, ["#111111"] * 3)
+        assert fig.stats.nodes_restyled == 3
+
+    def test_move_tracks_stats_nodes_vs_edges(self):
+        fig = FigureWidget()
+        fig.add_traces(
+            Scatter3d(x=[0, 1], y=[0, 1], z=[0, 1]),
+            Scatter3d(x=[0, 1, None], y=[0, 1, None], z=[0, 1, None], mode="lines"),
+        )
+        fig.move_points(0, x=[2, 3], y=[2, 3], z=[2, 3])
+        fig.move_points(1, x=[1, 2, None], y=[1, 2, None], z=[1, 2, None])
+        assert fig.stats.nodes_moved == 2
+        assert fig.stats.edges_moved == 1
+
+    def test_replace_trace_tracks_rebuild(self):
+        fig = FigureWidget()
+        fig.add_traces(Scatter3d(x=[0], y=[0], z=[0]))
+        fig.replace_trace(0, Scatter3d(x=[1], y=[1], z=[1]))
+        assert fig.stats.trace_rebuilds == 1
+
+    def test_stats_reset(self):
+        fig = FigureWidget()
+        fig.add_traces(Scatter3d(x=[0], y=[0], z=[0]))
+        fig.restyle_colors(0, ["#fff000"])
+        fig.stats.reset()
+        assert fig.stats.nodes_restyled == 0
+
+    def test_observers_fire(self):
+        fig = FigureWidget()
+        seen = []
+        fig.observe(seen.append)
+        fig.add_traces(Scatter3d(x=[0], y=[0], z=[0]))
+        fig.restyle_colors(0, ["#ffffff"])
+        assert seen == ["add_traces", "restyle"]
+
+    def test_layout_validation(self):
+        with pytest.raises(ValueError):
+            Layout(width=0)
+
+    def test_to_dict(self):
+        fig = FigureWidget(Layout(title="RIN"))
+        fig.add_traces(Scatter3d(x=[0], y=[0], z=[0]))
+        d = fig.to_dict()
+        assert d["layout"]["title"]["text"] == "RIN"
+        assert len(d["data"]) == 1
