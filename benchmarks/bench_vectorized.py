@@ -1,0 +1,178 @@
+"""Vectorized-vs-reference speedup benchmark (Figs. 6-8 workloads).
+
+Times every hot path that gained a CSR-kernel engine against its
+``impl="reference"`` naive twin on the paper's benchmark RINs:
+
+* Fig. 6 (measure switch): closeness / harmonic / betweenness / pagerank
+  on the high-cut-off RIN of each protein;
+* Fig. 7 (cut-off switch): the full cut-off scan and the DynamicRIN
+  cut-off diff sequence;
+* Fig. 8 (frame switch): the DynamicRIN frame-sweep diff loop and the
+  Maxent-Stress layout (k=3, the paper's Listing 1 parameters).
+
+Writes ``BENCH_vectorized.json`` at the repo root and prints a table.
+Run:  PYTHONPATH=src python benchmarks/bench_vectorized.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.bench import PAPER_HIGH_CUTOFF, PAPER_PROTEINS, protein_trajectory
+from repro.graphkit.centrality import (
+    Betweenness,
+    Closeness,
+    HarmonicCloseness,
+    PageRank,
+)
+from repro.graphkit.layout import maxent_stress_layout
+from repro.rin import DynamicRIN, build_rin, cutoff_scan
+
+# The widget's cut-off slider range; the scan uses the §IV-style 0.5 Å
+# grid (criterion_comparison's own default resolution).
+SWITCH_CUTOFFS = [3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+SCAN_CUTOFFS = [3.0 + 0.5 * i for i in range(15)]
+
+
+def best_ms(fn, *, repeats: int = 3, warmup: int = 1) -> float:
+    """Best-of-N wall time in milliseconds (after warmup calls)."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, (time.perf_counter() - t0) * 1e3)
+    return best
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="single protein, 1 repeat")
+    parser.add_argument(
+        "--out", default=None, help="output JSON path (default: repo root)"
+    )
+    args = parser.parse_args()
+
+    proteins = PAPER_PROTEINS[:1] if args.quick else PAPER_PROTEINS
+    repeats = 1 if args.quick else 5
+    results: dict[str, dict[str, float]] = {}
+
+    def record(name: str, run, *, warmup: int = 1) -> None:
+        ref = best_ms(lambda: run("reference"), repeats=repeats, warmup=warmup)
+        fast = best_ms(lambda: run("vectorized"), repeats=repeats, warmup=warmup)
+        results[name] = {
+            "reference_ms": round(ref, 3),
+            "vectorized_ms": round(fast, 3),
+            "speedup": round(ref / fast, 2) if fast > 0 else float("inf"),
+        }
+
+    for protein in proteins:
+        traj = protein_trajectory(protein)
+        topo, frame0 = traj.topology, traj.frame(0)
+        g_high = build_rin(topo, frame0, PAPER_HIGH_CUTOFF)
+
+        # Fig. 6 — measure switches on the dense (cut-off 10 Å) RIN.
+        record(
+            f"fig6_closeness_{protein}",
+            lambda impl: Closeness(g_high, normalized=True, impl=impl).run(),
+        )
+        record(
+            f"fig6_harmonic_{protein}",
+            lambda impl: HarmonicCloseness(g_high, impl=impl).run(),
+        )
+        record(
+            f"fig6_betweenness_{protein}",
+            lambda impl: Betweenness(g_high, normalized=True, impl=impl).run(),
+        )
+        record(
+            f"fig6_pagerank_{protein}",
+            lambda impl: PageRank(g_high, tol=1e-10, impl=impl).run(),
+        )
+
+        # Fig. 7 — the cut-off scan (the §IV topology sweep).
+        record(
+            f"fig7_cutoff_scan_{protein}",
+            lambda impl: cutoff_scan(topo, frame0, SCAN_CUTOFFS, impl=impl),
+        )
+
+        # Fig. 7d — the widget's cut-off diff sequence.
+        def cutoff_sequence(impl):
+            rin = DynamicRIN(traj, frame=0, cutoff=6.0, impl=impl)
+            for c in SWITCH_CUTOFFS:
+                rin.set_cutoff(c)
+
+        record(f"fig7_cutoff_diffs_{protein}", cutoff_sequence)
+
+        # Fig. 8 — frame-sweep diff loop (warm distance-matrix cache so the
+        # timing isolates the diff kernel, as in the widget's steady state).
+        def frame_sweep(impl):
+            rin = DynamicRIN(traj, frame=0, cutoff=4.5, impl=impl)
+            for f in list(range(8)) * 2:
+                rin.set_frame(f)
+
+        record(f"fig8_frame_diffs_{protein}", frame_sweep)
+
+        # Fig. 7e/8 — Maxent-Stress layout, paper's Listing 1 (dim=3, k=3).
+        record(
+            f"layout_maxent_k3_{protein}",
+            lambda impl: maxent_stress_layout(g_high, 3, 3, seed=42, impl=impl),
+        )
+
+    # Aggregate per workload class (summed over proteins): the speedup
+    # figure the acceptance gate reads, robust to tiny-protein overhead.
+    classes: dict[str, dict[str, float]] = {}
+    for name, r in results.items():
+        key = name.rsplit("_", 1)[0]
+        agg = classes.setdefault(key, {"reference_ms": 0.0, "vectorized_ms": 0.0})
+        agg["reference_ms"] += r["reference_ms"]
+        agg["vectorized_ms"] += r["vectorized_ms"]
+    for agg in classes.values():
+        agg["speedup"] = (
+            round(agg["reference_ms"] / agg["vectorized_ms"], 2)
+            if agg["vectorized_ms"] > 0
+            else float("inf")
+        )
+
+    host = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "quick": bool(args.quick),
+        "repeats": repeats,
+    }
+    out_path = Path(
+        args.out
+        if args.out
+        else Path(__file__).resolve().parent.parent / "BENCH_vectorized.json"
+    )
+    out_path.write_text(
+        json.dumps(
+            {"host": host, "workloads": results, "aggregates": classes}, indent=2
+        )
+        + "\n"
+    )
+
+    width = max(len(k) for k in results)
+    print(f"{'workload'.ljust(width)}  reference_ms  vectorized_ms  speedup")
+    for name, r in results.items():
+        print(
+            f"{name.ljust(width)}  {r['reference_ms']:12.3f}  "
+            f"{r['vectorized_ms']:13.3f}  {r['speedup']:6.2f}x"
+        )
+    print("\naggregates (summed over proteins):")
+    for name, r in classes.items():
+        print(
+            f"{name.ljust(width)}  {r['reference_ms']:12.3f}  "
+            f"{r['vectorized_ms']:13.3f}  {r['speedup']:6.2f}x"
+        )
+    print(f"\nwrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

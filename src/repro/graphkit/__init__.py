@@ -15,7 +15,7 @@ The public API intentionally mirrors NetworKit's run-pattern::
     scores = bc.scores()
 """
 
-from . import centrality, community, generators, io, layout
+from . import centrality, community, generators, io, kernels, layout
 from .components import ConnectedComponents, connected_components, largest_component
 from .coreness import CoreDecomposition, core_decomposition, local_clustering
 from .csr import CSRGraph
@@ -31,6 +31,7 @@ __all__ = [
     "local_clustering",
     "centrality",
     "community",
+    "kernels",
     "generators",
     "layout",
     "io",

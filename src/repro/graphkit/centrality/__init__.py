@@ -1,5 +1,13 @@
-"""Centrality measures (NetworKit ``centrality`` module analog)."""
+"""Centrality measures (NetworKit ``centrality`` module analog).
 
+Every exact measure accepts ``impl="vectorized"`` (CSR kernel engine,
+default) or ``impl="reference"`` (naive scalar engine, for differential
+testing). Sampling approximations (EstimateBetweenness, ApproxCloseness)
+have no scalar twin and raise ``NotImplementedError`` on
+``impl="reference"`` rather than silently running the fast engine.
+"""
+
+from . import reference
 from .base import Centrality
 from .betweenness import Betweenness, EstimateBetweenness
 from .closeness import ApproxCloseness, Closeness, HarmonicCloseness
@@ -22,4 +30,5 @@ __all__ = [
     "KatzCentrality",
     "PageRank",
     "PageRankNorm",
+    "reference",
 ]

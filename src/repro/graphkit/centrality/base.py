@@ -21,14 +21,36 @@ from ..graph import Graph
 __all__ = ["Centrality"]
 
 
+#: Valid values for the ``impl`` selector shared by every centrality.
+IMPLEMENTATIONS = ("vectorized", "reference")
+
+
 class Centrality:
-    """Abstract base: run-once centrality with cached scores."""
+    """Abstract base: run-once centrality with cached scores.
+
+    Every subclass carries two interchangeable engines selected by the
+    ``impl`` keyword: ``"vectorized"`` (default) runs on the CSR kernel
+    layer (:mod:`repro.graphkit.kernels`), ``"reference"`` runs the naive
+    scalar algorithm (:mod:`repro.graphkit.centrality.reference`). The two
+    must agree within float tolerance — the differential test suite
+    enforces it — so the reference path doubles as executable
+    documentation of each measure's semantics.
+    """
 
     name: str = "centrality"
 
-    def __init__(self, g: Graph | CSRGraph, *, normalized: bool = False):
+    def __init__(
+        self,
+        g: Graph | CSRGraph,
+        *,
+        normalized: bool = False,
+        impl: str = "vectorized",
+    ):
+        if impl not in IMPLEMENTATIONS:
+            raise ValueError(f"impl must be one of {IMPLEMENTATIONS}, got {impl!r}")
         self._graph = g
         self._normalized = bool(normalized)
+        self._impl = impl
         self._scores: np.ndarray | None = None
 
     # ------------------------------------------------------------------
@@ -41,8 +63,25 @@ class Centrality:
         g = self._graph
         return g.csr() if isinstance(g, Graph) else g
 
+    @property
+    def impl(self) -> str:
+        """The selected engine ('vectorized' or 'reference')."""
+        return self._impl
+
     def _compute(self, csr: CSRGraph) -> np.ndarray:
         raise NotImplementedError
+
+    def _compute_reference(self, csr: CSRGraph) -> np.ndarray:
+        """Naive scalar engine; fails loudly when a measure has none.
+
+        A silent fallback to the vectorized engine would make differential
+        tests pass vacuously, so measures without a reference twin (the
+        sampling approximations) reject ``impl="reference"`` here.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no reference engine; use the default "
+            "impl='vectorized'"
+        )
 
     def _normalize(self, scores: np.ndarray, csr: CSRGraph) -> np.ndarray:
         """Default normalization: scale max score to 1."""
@@ -53,7 +92,10 @@ class Centrality:
     def run(self) -> "Centrality":
         """Compute (and cache) the score vector."""
         csr = self._csr()
-        scores = np.asarray(self._compute(csr), dtype=np.float64)
+        compute = (
+            self._compute_reference if self._impl == "reference" else self._compute
+        )
+        scores = np.asarray(compute(csr), dtype=np.float64)
         if scores.shape != (csr.n,):
             raise AssertionError(
                 f"{type(self).__name__} produced shape {scores.shape}, "

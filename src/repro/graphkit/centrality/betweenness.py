@@ -16,7 +16,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..csr import CSRGraph
+from ..kernels import expand_arcs
 from ..parallel import parallel_for_chunks
+from . import reference
 from .base import Centrality
 
 __all__ = ["Betweenness", "EstimateBetweenness"]
@@ -27,9 +29,10 @@ def _brandes_source(
 ) -> None:
     """Accumulate Brandes dependencies of source ``s`` into ``dependency``.
 
-    Unweighted shortest paths; the backward pass iterates BFS levels (not
-    individual nodes) and pushes partial dependencies along the reversed
-    level edges with bincount scatter-adds.
+    Unweighted shortest paths; both sweeps run on whole BFS levels via the
+    shared :func:`~repro.graphkit.kernels.expand_arcs` gather — path counts
+    and partial dependencies move along level arcs with bincount
+    scatter-adds, never one node at a time.
     """
     n = csr.n
     dist = np.full(n, -1, dtype=np.int64)
@@ -43,19 +46,9 @@ def _brandes_source(
     depth = 0
     while len(frontier):
         depth += 1
-        # All arcs leaving the frontier.
-        starts = csr.indptr[frontier]
-        counts = csr.indptr[frontier + 1] - starts
-        total = int(counts.sum())
-        if total == 0:
+        tails, heads = expand_arcs(csr, frontier)
+        if len(heads) == 0:
             break
-        offsets = np.concatenate([[0], np.cumsum(counts)])
-        gather = np.empty(total, dtype=np.int64)
-        seg = np.searchsorted(offsets[1:], np.arange(total), side="right")
-        gather = starts[seg] + (np.arange(total) - offsets[seg])
-        heads = csr.indices[gather]  # arc heads
-        tails = frontier[seg]  # arc tails (frontier nodes)
-
         undiscovered = dist[heads] == -1
         new_nodes = np.unique(heads[undiscovered])
         if len(new_nodes):
@@ -63,7 +56,9 @@ def _brandes_source(
         # Arcs that lie on shortest paths into the next level.
         on_sp = dist[heads] == depth
         if on_sp.any():
-            np.add.at(sigma, heads[on_sp], sigma[tails[on_sp]])
+            sigma += np.bincount(
+                heads[on_sp], weights=sigma[tails[on_sp]], minlength=n
+            )
         if len(new_nodes) == 0:
             break
         frontier = new_nodes
@@ -74,24 +69,16 @@ def _brandes_source(
     for level_nodes in reversed(levels[1:]):
         # For each node w at this level, push delta to predecessors v with
         # dist[v] = dist[w] - 1 along arcs (w -> v) in the (symmetric) CSR.
-        starts = csr.indptr[level_nodes]
-        counts = csr.indptr[level_nodes + 1] - starts
-        total = int(counts.sum())
-        if total == 0:
+        ws, nbrs = expand_arcs(csr, level_nodes)
+        if len(nbrs) == 0:
             continue
-        offsets = np.concatenate([[0], np.cumsum(counts)])
-        idx = np.arange(total)
-        seg = np.searchsorted(offsets[1:], idx, side="right")
-        gather = starts[seg] + (idx - offsets[seg])
-        nbrs = csr.indices[gather]
-        ws = level_nodes[seg]
         preds = dist[nbrs] == dist[ws] - 1
         if not preds.any():
             continue
         v = nbrs[preds]
         w = ws[preds]
         contrib = (sigma[v] / sigma[w]) * (1.0 + delta[w])
-        np.add.at(delta, v, contrib)
+        delta += np.bincount(v, weights=contrib, minlength=n)
     delta[s] = 0.0
     dependency += delta
 
@@ -111,9 +98,23 @@ class Betweenness(Centrality):
 
     name = "betweenness"
 
-    def __init__(self, g, *, normalized: bool = False, threads: int | None = None):
-        super().__init__(g, normalized=normalized)
+    def __init__(
+        self,
+        g,
+        *,
+        normalized: bool = False,
+        threads: int | None = None,
+        impl: str = "vectorized",
+    ):
+        super().__init__(g, normalized=normalized, impl=impl)
         self._threads = threads
+
+    def _compute_reference(self, csr: CSRGraph) -> np.ndarray:
+        if csr.directed:
+            raise NotImplementedError(
+                "Betweenness is implemented for undirected graphs (RINs)"
+            )
+        return reference.betweenness_scores(csr)
 
     def _compute(self, csr: CSRGraph) -> np.ndarray:
         if csr.directed:
@@ -174,10 +175,11 @@ class EstimateBetweenness(Centrality):
         *,
         normalized: bool = False,
         seed: int | None = 42,
+        impl: str = "vectorized",
     ):
         if nsamples < 1:
             raise ValueError("nsamples must be >= 1")
-        super().__init__(g, normalized=normalized)
+        super().__init__(g, normalized=normalized, impl=impl)
         self._nsamples = nsamples
         self._seed = seed
 

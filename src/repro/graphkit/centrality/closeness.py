@@ -12,15 +12,22 @@ from __future__ import annotations
 import numpy as np
 
 from ..csr import CSRGraph
-from ..distance import bfs_distances
+from ..kernels import batched_bfs_distances, source_blocks
 from ..parallel import parallel_for_chunks
+from . import reference
 from .base import Centrality
 
 __all__ = ["Closeness", "HarmonicCloseness", "ApproxCloseness"]
 
 
 class Closeness(Centrality):
-    """Exact closeness centrality via one BFS per node.
+    """Exact closeness centrality via batched multi-source BFS.
+
+    The vectorized engine sweeps blocks of sources with the level-
+    synchronous :func:`~repro.graphkit.kernels.batched_bfs_distances`
+    kernel (one sparse-dense product per BFS level for the whole block);
+    blocks are distributed over worker threads. ``impl="reference"`` runs
+    the textbook one-queue-BFS-per-node loop instead.
 
     Parameters
     ----------
@@ -31,13 +38,20 @@ class Closeness(Centrality):
         components (generalized closeness); without it the per-component
         value is returned.
     threads:
-        Worker threads for the per-source loop.
+        Worker threads for the per-block loop.
     """
 
     name = "closeness"
 
-    def __init__(self, g, *, normalized: bool = True, threads: int | None = None):
-        super().__init__(g, normalized=normalized)
+    def __init__(
+        self,
+        g,
+        *,
+        normalized: bool = True,
+        threads: int | None = None,
+        impl: str = "vectorized",
+    ):
+        super().__init__(g, normalized=normalized, impl=impl)
         self._threads = threads
 
     def _compute(self, csr: CSRGraph) -> np.ndarray:
@@ -46,15 +60,20 @@ class Closeness(Centrality):
         reach = np.zeros(n, dtype=np.int64)
 
         def run_chunk(start: int, stop: int) -> None:
-            for s in range(start, stop):
-                d = bfs_distances(csr, s)
+            for lo, hi in source_blocks(start, stop, n):
+                d = batched_bfs_distances(csr, np.arange(lo, hi))
                 reached = d > 0
-                total = float(d[reached].sum())
-                r = int(reached.sum()) + 1  # including s itself
-                reach[s] = r
-                raw[s] = (r - 1) / total if total > 0 else 0.0
+                total = np.where(reached, d, 0).sum(axis=1).astype(np.float64)
+                r = reached.sum(axis=1) + 1  # including the source itself
+                reach[lo:hi] = r
+                np.divide(r - 1, total, out=raw[lo:hi], where=total > 0)
 
         parallel_for_chunks(run_chunk, n, threads=self._threads)
+        self._reach = reach
+        return raw
+
+    def _compute_reference(self, csr: CSRGraph) -> np.ndarray:
+        raw, reach = reference.closeness_scores(csr)
         self._reach = reach
         return raw
 
@@ -70,8 +89,15 @@ class HarmonicCloseness(Centrality):
 
     name = "harmonic"
 
-    def __init__(self, g, *, normalized: bool = True, threads: int | None = None):
-        super().__init__(g, normalized=normalized)
+    def __init__(
+        self,
+        g,
+        *,
+        normalized: bool = True,
+        threads: int | None = None,
+        impl: str = "vectorized",
+    ):
+        super().__init__(g, normalized=normalized, impl=impl)
         self._threads = threads
 
     def _compute(self, csr: CSRGraph) -> np.ndarray:
@@ -79,14 +105,16 @@ class HarmonicCloseness(Centrality):
         raw = np.zeros(n, dtype=np.float64)
 
         def run_chunk(start: int, stop: int) -> None:
-            for s in range(start, stop):
-                d = bfs_distances(csr, s)
-                reached = d > 0
-                if reached.any():
-                    raw[s] = float((1.0 / d[reached]).sum())
+            for lo, hi in source_blocks(start, stop, n):
+                d = batched_bfs_distances(csr, np.arange(lo, hi))
+                inv = np.where(d > 0, 1.0 / np.maximum(d, 1), 0.0)
+                raw[lo:hi] = inv.sum(axis=1)
 
         parallel_for_chunks(run_chunk, n, threads=self._threads)
         return raw
+
+    def _compute_reference(self, csr: CSRGraph) -> np.ndarray:
+        return reference.harmonic_scores(csr)
 
     def _normalize(self, scores: np.ndarray, csr: CSRGraph) -> np.ndarray:
         n = csr.n
@@ -104,11 +132,17 @@ class ApproxCloseness(Centrality):
     name = "closeness-approx"
 
     def __init__(
-        self, g, nsamples: int = 64, *, normalized: bool = True, seed: int | None = 42
+        self,
+        g,
+        nsamples: int = 64,
+        *,
+        normalized: bool = True,
+        seed: int | None = 42,
+        impl: str = "vectorized",
     ):
         if nsamples < 1:
             raise ValueError("nsamples must be >= 1")
-        super().__init__(g, normalized=normalized)
+        super().__init__(g, normalized=normalized, impl=impl)
         self._nsamples = nsamples
         self._seed = seed
 
@@ -119,13 +153,12 @@ class ApproxCloseness(Centrality):
         rng = np.random.default_rng(self._seed)
         k = min(self._nsamples, n)
         pivots = rng.choice(n, size=k, replace=False)
-        farness = np.zeros(n, dtype=np.float64)
-        hits = np.zeros(n, dtype=np.int64)
-        for s in pivots:
-            d = bfs_distances(csr, int(s))
-            reached = d >= 0
-            farness[reached] += d[reached]
-            hits[reached] += 1
+        # All pivot BFS trees in one batched sweep (undirected graphs, so
+        # pivot->node distances equal node->pivot distances).
+        d = batched_bfs_distances(csr, pivots)
+        reached = d >= 0
+        farness = np.where(reached, d, 0).sum(axis=0).astype(np.float64)
+        hits = reached.sum(axis=0).astype(np.int64)
         est = np.zeros(n, dtype=np.float64)
         ok = (hits > 0) & (farness > 0)
         # Scale mean pivot distance to a full-farness estimate over n nodes.

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..csr import CSRGraph
+from . import reference
 from .base import Centrality
 
 __all__ = ["DegreeCentrality"]
@@ -25,14 +26,24 @@ class DegreeCentrality(Centrality):
 
     name = "degree"
 
-    def __init__(self, g, *, normalized: bool = False, weighted: bool = False):
-        super().__init__(g, normalized=normalized)
+    def __init__(
+        self,
+        g,
+        *,
+        normalized: bool = False,
+        weighted: bool = False,
+        impl: str = "vectorized",
+    ):
+        super().__init__(g, normalized=normalized, impl=impl)
         self._weighted = bool(weighted)
 
     def _compute(self, csr: CSRGraph) -> np.ndarray:
         if self._weighted:
             return csr.weighted_degrees()
         return csr.degrees().astype(np.float64)
+
+    def _compute_reference(self, csr: CSRGraph) -> np.ndarray:
+        return reference.degree_scores(csr, weighted=self._weighted)
 
     def _normalize(self, scores: np.ndarray, csr: CSRGraph) -> np.ndarray:
         n = csr.n

@@ -15,6 +15,8 @@ from scipy.sparse import linalg as splinalg
 __all__ = ["KatzCentrality"]
 
 from ..csr import CSRGraph
+from ..kernels import spmv_transpose
+from . import reference
 from .base import Centrality
 
 
@@ -46,10 +48,11 @@ class KatzCentrality(Centrality):
         normalized: bool = False,
         max_terms: int = 1000,
         tol: float = 1e-10,
+        impl: str = "vectorized",
     ):
         if method not in ("direct", "series"):
             raise ValueError(f"unknown method {method!r}")
-        super().__init__(g, normalized=normalized)
+        super().__init__(g, normalized=normalized, impl=impl)
         self._alpha = alpha
         self._beta = float(beta)
         self._method = method
@@ -79,11 +82,22 @@ class KatzCentrality(Centrality):
             x = np.zeros(n)
             term = ones.copy()
             for _ in range(self._max_terms):
-                term = alpha * (adj.T @ term)
+                term = alpha * spmv_transpose(csr, term)
                 x += term
                 if np.abs(term).sum() < self._tol:
                     break
         return np.asarray(x, dtype=np.float64)
+
+    def _compute_reference(self, csr: CSRGraph) -> np.ndarray:
+        if csr.n == 0:
+            return np.zeros(0)
+        return reference.katz_series_scores(
+            csr,
+            self.effective_alpha(),
+            self._beta,
+            max_terms=self._max_terms,
+            tol=min(self._tol, 1e-12),
+        )
 
     def _normalize(self, scores: np.ndarray, csr: CSRGraph) -> np.ndarray:
         norm = np.linalg.norm(scores)

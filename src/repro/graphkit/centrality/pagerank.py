@@ -15,6 +15,8 @@ from enum import Enum
 import numpy as np
 
 from ..csr import CSRGraph
+from ..kernels import spmv_transpose
+from . import reference
 from .base import Centrality
 
 __all__ = ["PageRank", "PageRankNorm"]
@@ -55,22 +57,31 @@ class PageRank(Centrality):
         tol: float = 1e-10,
         max_iterations: int = 500,
         norm: PageRankNorm = PageRankNorm.NONE,
+        impl: str = "vectorized",
     ):
         if not 0.0 < damp < 1.0:
             raise ValueError(f"damping must be in (0, 1), got {damp}")
-        super().__init__(g, normalized=False)
+        super().__init__(g, normalized=False, impl=impl)
         self._damp = float(damp)
         self._tol = tol
         self._max_iterations = max_iterations
         self._norm = norm
         self._iterations = 0
 
+    def _apply_norm(self, x: np.ndarray, n: int) -> np.ndarray:
+        if self._norm is PageRankNorm.L1:
+            total = x.sum()
+            if total > 0:
+                x = x / total
+        elif self._norm is PageRankNorm.EVOLVING:
+            x = x / ((1.0 - self._damp) / n)
+        return x
+
     def _compute(self, csr: CSRGraph) -> np.ndarray:
         n = csr.n
         if n == 0:
             return np.zeros(0)
-        adj = csr.to_scipy()
-        out_strength = np.asarray(adj.sum(axis=1)).ravel()
+        out_strength = csr.weighted_degrees()
         dangling = out_strength == 0.0
         inv_out = np.where(dangling, 0.0, 1.0 / np.maximum(out_strength, 1e-300))
         d = self._damp
@@ -79,20 +90,23 @@ class PageRank(Centrality):
         for _ in range(self._max_iterations):
             self._iterations += 1
             # Pull formulation: x' = d * (A^T (x / outdeg)) + teleport mass.
-            contrib = adj.T @ (x * inv_out)
+            contrib = spmv_transpose(csr, x * inv_out)
             dangling_mass = float(x[dangling].sum())
             y = d * contrib + (d * dangling_mass + (1.0 - d)) / n
             if np.abs(y - x).sum() < self._tol:
                 x = y
                 break
             x = y
-        if self._norm is PageRankNorm.L1:
-            total = x.sum()
-            if total > 0:
-                x = x / total
-        elif self._norm is PageRankNorm.EVOLVING:
-            x = x / ((1.0 - d) / n)
-        return x
+        return self._apply_norm(x, n)
+
+    def _compute_reference(self, csr: CSRGraph) -> np.ndarray:
+        n = csr.n
+        if n == 0:
+            return np.zeros(0)
+        x, self._iterations = reference.pagerank_scores(
+            csr, self._damp, tol=self._tol, max_iterations=self._max_iterations
+        )
+        return self._apply_norm(x, n)
 
     def iterations(self) -> int:
         """Power-iteration count of the last :meth:`run`."""

@@ -20,8 +20,10 @@ def connected_components(g: Graph | CSRGraph) -> tuple[int, np.ndarray]:
     csr = g.csr() if isinstance(g, Graph) else g
     if csr.n == 0:
         return 0, np.empty(0, dtype=np.int64)
+    # Connectivity is structural: the cached 0/1 pattern matrix avoids
+    # materializing the weighted scipy adjacency on scan hot paths.
     count, labels = _scipy_cc(
-        csr.to_scipy(), directed=csr.directed, connection="weak"
+        csr.to_scipy_pattern(), directed=csr.directed, connection="weak"
     )
     return int(count), labels.astype(np.int64)
 

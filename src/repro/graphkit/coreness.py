@@ -12,17 +12,26 @@ import numpy as np
 
 from .csr import CSRGraph
 from .graph import Graph
+from .kernels import core_numbers
 
 __all__ = ["core_decomposition", "CoreDecomposition", "local_clustering"]
 
 
-def core_decomposition(g: Graph | CSRGraph) -> np.ndarray:
-    """Per-node coreness via the Batagelj-Zaveršnik peeling order.
+def core_decomposition(g: Graph | CSRGraph, *, impl: str = "vectorized") -> np.ndarray:
+    """Per-node coreness.
 
-    O(n + m): repeatedly remove the minimum-degree node using a bucket
-    queue; the removal degree is its core number.
+    ``impl="vectorized"`` (default) runs the bulk-peeling kernel
+    (:func:`~repro.graphkit.kernels.core_numbers`): whole degree-floor
+    waves removed per step with bincount degree updates.
+    ``impl="reference"`` keeps the scalar Batagelj-Zaveršnik bucket
+    queue — O(n + m), one minimum-degree node at a time — for
+    differential testing.
     """
+    if impl not in ("vectorized", "reference"):
+        raise ValueError(f"impl must be 'vectorized' or 'reference', got {impl!r}")
     csr = g.csr() if isinstance(g, Graph) else g
+    if impl == "vectorized":
+        return core_numbers(csr)
     n = csr.n
     degrees = csr.degrees().astype(np.int64).copy()
     core = np.zeros(n, dtype=np.int64)
@@ -62,13 +71,14 @@ def core_decomposition(g: Graph | CSRGraph) -> np.ndarray:
 class CoreDecomposition:
     """NetworKit-style runner around :func:`core_decomposition`."""
 
-    def __init__(self, g: Graph | CSRGraph):
+    def __init__(self, g: Graph | CSRGraph, *, impl: str = "vectorized"):
         self._g = g
+        self._impl = impl
         self._core: np.ndarray | None = None
 
     def run(self) -> "CoreDecomposition":
         """Compute core numbers."""
-        self._core = core_decomposition(self._g)
+        self._core = core_decomposition(self._g, impl=self._impl)
         return self
 
     def scores(self) -> list[int]:
@@ -100,8 +110,7 @@ def local_clustering(g: Graph | CSRGraph) -> np.ndarray:
     n = csr.n
     if n == 0:
         return np.zeros(0)
-    adj = csr.to_scipy().copy()
-    adj.data[:] = 1.0  # unweighted triangles
+    adj = csr.to_scipy_pattern()  # unweighted triangles (cached 0/1 matrix)
     # triangles_u = (A @ A)[u, v] summed over neighbours v of u, / 2.
     paths2 = (adj @ adj).multiply(adj)
     triangles = np.asarray(paths2.sum(axis=1)).ravel() / 2.0

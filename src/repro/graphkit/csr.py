@@ -36,7 +36,15 @@ class CSRGraph:
         Whether the adjacency is asymmetric.
     """
 
-    __slots__ = ("indptr", "indices", "weights", "directed", "_scipy")
+    __slots__ = (
+        "indptr",
+        "indices",
+        "weights",
+        "directed",
+        "_scipy",
+        "_pattern",
+        "_tails",
+    )
 
     def __init__(
         self,
@@ -57,6 +65,8 @@ class CSRGraph:
             raise ValueError("indices and weights must be aligned")
         self.directed = bool(directed)
         self._scipy: sparse.csr_matrix | None = None
+        self._pattern: sparse.csr_matrix | None = None
+        self._tails: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -110,6 +120,30 @@ class CSRGraph:
         mat.sort_indices()
         return cls(mat.indptr, mat.indices, mat.data, directed=directed)
 
+    @classmethod
+    def from_unique_edge_array(cls, n: int, edges: np.ndarray) -> "CSRGraph":
+        """Build an undirected unweighted CSR from *unique* (u < v) pairs.
+
+        The fast path for contact-pair prefixes: one ``lexsort`` over the
+        symmetrized arc list plus a ``bincount`` builds the arrays
+        directly, skipping scipy's COO validation/dedup machinery (the
+        caller guarantees no duplicates and no self-loops).
+        """
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        m = len(edges)
+        if m == 0:
+            return cls(
+                np.zeros(n + 1, dtype=np.int64),
+                np.empty(0, dtype=np.int32),
+                np.empty(0, dtype=np.float64),
+            )
+        rows = np.concatenate([edges[:, 0], edges[:, 1]])
+        cols = np.concatenate([edges[:, 1], edges[:, 0]])
+        order = np.lexsort((cols, rows))
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(rows, minlength=n), out=indptr[1:])
+        return cls(indptr, cols[order], np.ones(2 * m, dtype=np.float64))
+
     # ------------------------------------------------------------------
     @property
     def n(self) -> int:
@@ -158,31 +192,59 @@ class CSRGraph:
             )
         return self._scipy
 
-    def expand_frontier(self, frontier: np.ndarray) -> np.ndarray:
-        """All out-neighbours of the nodes in ``frontier`` (with repeats).
+    def to_scipy_pattern(self) -> sparse.csr_matrix:
+        """0/1 structure matrix of the adjacency (cached).
 
-        The BFS-style kernels gather neighbour ranges with vectorized
-        ``reduceat``-free slicing: concatenation of per-node views.  For the
-        small frontiers typical of RINs this is allocation-light; for large
-        frontiers it amortizes into one big fancy-index gather.
+        The batched BFS kernels advance dense frontiers with products
+        against this matrix; sharing it across calls means a BFS-heavy
+        measure (closeness, APSP) allocates the pattern once per snapshot.
         """
-        if len(frontier) == 0:
-            return np.empty(0, dtype=np.int32)
-        starts = self.indptr[frontier]
-        stops = self.indptr[frontier + 1]
-        counts = stops - starts
+        if self._pattern is None:
+            self._pattern = sparse.csr_matrix(
+                (np.ones(self.nnz, dtype=np.float64), self.indices, self.indptr),
+                shape=(self.n, self.n),
+            )
+        return self._pattern
+
+    def arc_tails(self) -> np.ndarray:
+        """Row id of every stored arc (cached; aligned with ``indices``).
+
+        The transpose-SpMV scatter uses this every power iteration, so it
+        is computed once per snapshot rather than per call.
+        """
+        if self._tails is None:
+            self._tails = np.repeat(
+                np.arange(self.n, dtype=np.int64), np.diff(self.indptr)
+            )
+        return self._tails
+
+    def arc_gather(self, rows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Flat storage positions of every arc leaving ``rows``.
+
+        Returns ``(gather, counts)``: ``indices[gather]`` / ``weights[gather]``
+        enumerate the rows' arcs contiguously and ``counts`` holds per-row
+        out-degrees. Built as one shifted ``arange`` (``starts[i] + 0..k_i``
+        per segment) — a single ``repeat`` instead of per-node slicing.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if len(rows) == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        starts = self.indptr[rows]
+        counts = self.indptr[rows + 1] - starts
         total = int(counts.sum())
         if total == 0:
+            return np.empty(0, dtype=np.int64), counts
+        offsets = np.concatenate([[0], np.cumsum(counts)[:-1]])
+        gather = np.arange(total, dtype=np.int64) + np.repeat(starts - offsets, counts)
+        return gather, counts
+
+    def expand_frontier(self, frontier: np.ndarray) -> np.ndarray:
+        """All out-neighbours of the nodes in ``frontier`` (with repeats)."""
+        frontier = np.asarray(frontier, dtype=np.int64)
+        gather, _ = self.arc_gather(frontier)
+        if len(gather) == 0:
             return np.empty(0, dtype=np.int32)
-        # Build gather indices: for each frontier node a contiguous range.
-        out = np.empty(total, dtype=np.int64)
-        offsets = np.zeros(len(frontier) + 1, dtype=np.int64)
-        np.cumsum(counts, out=offsets[1:])
-        # ranges: starts[i] + (0..counts[i])
-        idx = np.arange(total, dtype=np.int64)
-        seg = np.searchsorted(offsets[1:], idx, side="right")
-        out = starts[seg] + (idx - offsets[seg])
-        return self.indices[out]
+        return self.indices[gather]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"CSRGraph(n={self.n}, m={self.m}, directed={self.directed})"

@@ -16,6 +16,7 @@ import numpy as np
 
 from .csr import CSRGraph
 from .graph import Graph
+from .kernels import batched_bfs_distances
 from .parallel import parallel_for_chunks
 
 __all__ = [
@@ -113,9 +114,10 @@ def all_pairs_distances(
 ) -> np.ndarray:
     """All-pairs shortest paths as an ``(n, n)`` matrix.
 
-    Unweighted distances use per-source BFS over a static block
-    decomposition of the sources (parallel over chunks); weighted distances
-    use Dijkstra. Unreachable pairs are ``inf`` in the returned float matrix.
+    Unweighted distances run the batched level-synchronous BFS kernel over
+    a static block decomposition of the sources (one sparse-dense product
+    per level per block); weighted distances use per-source Dijkstra.
+    Unreachable pairs are ``inf`` in the returned float matrix.
     """
     csr = _as_csr(g)
     n = csr.n
@@ -127,11 +129,12 @@ def all_pairs_distances(
                 out[s] = dijkstra(csr, s)
     else:
         def run_chunk(start: int, stop: int) -> None:
-            for s in range(start, stop):
-                d = bfs_distances(csr, s)
-                row = out[s]
-                reached = d >= 0
-                row[reached] = d[reached]
+            if stop <= start:
+                return
+            d = batched_bfs_distances(csr, np.arange(start, stop))
+            block = out[start:stop]
+            reached = d >= 0
+            block[reached] = d[reached]
 
     parallel_for_chunks(run_chunk, n, threads=threads)
     return out
@@ -191,12 +194,8 @@ def effective_diameter(
     n = csr.n
     if n < 2:
         return 0.0
-    distances = []
-    for s in range(n):
-        d = bfs_distances(csr, s)
-        reached = d[d > 0]
-        distances.append(reached)
-    flat = np.concatenate(distances) if distances else np.empty(0)
+    d = batched_bfs_distances(csr, np.arange(n))
+    flat = d[d > 0]
     if len(flat) == 0:
         return 0.0
     return float(np.quantile(flat, percentile, method="inverted_cdf"))

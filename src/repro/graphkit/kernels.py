@@ -1,0 +1,260 @@
+"""Vectorized CSR compute kernels — the shared hot-path layer.
+
+Every performance-critical algorithm in :mod:`repro.graphkit` (and the RIN
+scanning/diffing code in :mod:`repro.rin`) is expressed in terms of a small
+set of NumPy kernels over :class:`~repro.graphkit.csr.CSRGraph` arrays:
+
+* **arc gathers** — expand a set of rows into their (tail, head) arc lists
+  with one ``repeat`` + one fancy-index gather (no ``searchsorted`` per
+  level, no Python loop over nodes);
+* **segment reductions** — per-row sums/minima over the CSR value array;
+* **SpMV** — ``A @ x`` and ``Aᵀ @ x`` without materializing scipy objects;
+* **batched BFS** — level-synchronous breadth-first search from *many*
+  sources at once, advancing a dense ``(b, n)`` frontier with one
+  sparse-dense product per level (the closeness/APSP workhorse);
+* **coordinate kernels** — pairwise residue distances and the sorted
+  contact order that turns a cut-off sweep into ``searchsorted`` prefixes.
+
+The kernels are deliberately allocation-light and loop-free so that the
+interactive paths the paper benchmarks (measure/cut-off/frame switches,
+Figs. 6-8) spend their time inside compiled NumPy/SciPy code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from .csr import CSRGraph
+
+__all__ = [
+    "DENSE_BLOCK_ENTRIES",
+    "source_blocks",
+    "expand_arcs",
+    "segment_sum",
+    "spmv",
+    "spmv_transpose",
+    "batched_bfs_distances",
+    "pairwise_distances",
+    "sorted_contact_order",
+    "core_numbers",
+]
+
+UNREACHED = -1
+
+#: Target entry count for dense (sources, n) blocks — the single memory
+#: cap shared by the batched BFS kernel and its block-iterating callers.
+DENSE_BLOCK_ENTRIES = 2_000_000
+
+
+def source_blocks(start: int, stop: int, n: int):
+    """Sub-ranges of ``[start, stop)`` whose dense ``(block, n)`` matrix
+    stays around :data:`DENSE_BLOCK_ENTRIES` entries.
+
+    Callers that consume per-source reductions of
+    :func:`batched_bfs_distances` iterate these blocks so peak memory is
+    O(block × n), independent of how many sources they process.
+    """
+    block = max(1, DENSE_BLOCK_ENTRIES // max(n, 1))
+    for lo in range(start, stop, block):
+        yield lo, min(lo + block, stop)
+
+
+# ----------------------------------------------------------------------
+# arc gathers and segment reductions
+# ----------------------------------------------------------------------
+def expand_arcs(
+    csr: CSRGraph, frontier: np.ndarray, *, with_weights: bool = False
+) -> tuple[np.ndarray, ...]:
+    """All arcs ``(tail, head[, weight])`` leaving the ``frontier`` nodes.
+
+    Tails repeat per out-degree so ``tails[i] -> heads[i]`` enumerates the
+    frontier's outgoing arcs; this is the shared primitive behind BFS
+    frontier expansion and the Brandes forward/backward sweeps.
+    """
+    frontier = np.asarray(frontier, dtype=np.int64)
+    gather, counts = csr.arc_gather(frontier)
+    tails = np.repeat(frontier, counts)
+    heads = csr.indices[gather].astype(np.int64, copy=False)
+    if with_weights:
+        return tails, heads, csr.weights[gather]
+    return tails, heads
+
+
+def segment_sum(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Per-row sums of a CSR-aligned value array (0 for empty rows)."""
+    n = len(indptr) - 1
+    if len(values) == 0:
+        return np.zeros(n, dtype=np.float64)
+    cumulative = np.concatenate([[0.0], np.cumsum(values, dtype=np.float64)])
+    return cumulative[indptr[1:]] - cumulative[indptr[:-1]]
+
+
+# ----------------------------------------------------------------------
+# sparse matrix-vector products
+# ----------------------------------------------------------------------
+def spmv(csr: CSRGraph, x: np.ndarray) -> np.ndarray:
+    """``A @ x`` over the CSR rows (weighted neighbourhood sum)."""
+    x = np.asarray(x, dtype=np.float64)
+    if csr.nnz == 0:
+        return np.zeros(csr.n, dtype=np.float64)
+    return segment_sum(csr.weights * x[csr.indices], csr.indptr)
+
+
+def spmv_transpose(csr: CSRGraph, x: np.ndarray) -> np.ndarray:
+    """``Aᵀ @ x`` via a bincount scatter over arc heads.
+
+    Equals :func:`spmv` on undirected (symmetric) adjacencies; on directed
+    graphs this is the "pull along in-edges" product PageRank needs.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    n = csr.n
+    if csr.nnz == 0:
+        return np.zeros(n, dtype=np.float64)
+    return np.bincount(
+        csr.indices, weights=csr.weights * x[csr.arc_tails()], minlength=n
+    )[:n].astype(np.float64, copy=False)
+
+
+# ----------------------------------------------------------------------
+# batched BFS
+# ----------------------------------------------------------------------
+def batched_bfs_distances(
+    csr: CSRGraph,
+    sources: np.ndarray,
+    *,
+    max_depth: int | None = None,
+    chunk_size: int | None = None,
+) -> np.ndarray:
+    """Hop distances from every source at once — ``(len(sources), n)``.
+
+    Runs a level-synchronous BFS whose frontier is a dense ``(b, n)``
+    boolean matrix advanced by one sparse-dense product per level, so the
+    per-level cost is one compiled SpMM instead of ``b`` Python-level
+    frontier expansions. Unreachable entries are ``-1``; ``max_depth``
+    truncates the sweep (used by the k-hop neighbourhood kernels).
+
+    Sources are processed in chunks of ``chunk_size`` (default sized to
+    keep the dense frontier block around ~2M entries) so memory stays
+    bounded on large graphs.
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    n = csr.n
+    k = len(sources)
+    if k == 0:
+        return np.empty((0, n), dtype=np.int32)
+    if n == 0:
+        raise IndexError("BFS sources on an empty graph")
+    if sources.min() < 0 or sources.max() >= n:
+        raise IndexError(f"BFS source out of range [0, {n})")
+    if chunk_size is None:
+        chunk_size = max(1, min(k, DENSE_BLOCK_ENTRIES // max(n, 1)))
+    pattern = csr.to_scipy_pattern()
+    dist = np.full((k, n), UNREACHED, dtype=np.int32)
+    for lo in range(0, k, chunk_size):
+        hi = min(lo + chunk_size, k)
+        block = sources[lo:hi]
+        b = len(block)
+        d = dist[lo:hi]
+        d[np.arange(b), block] = 0
+        frontier = np.zeros((b, n), dtype=np.float64)
+        frontier[np.arange(b), block] = 1.0
+        level = 0
+        while True:
+            level += 1
+            if max_depth is not None and level > max_depth:
+                break
+            reached = frontier @ pattern  # dense (b, n) SpMM
+            fresh = (reached > 0.0) & (d == UNREACHED)
+            if not fresh.any():
+                break
+            d[fresh] = level
+            frontier = fresh.astype(np.float64)
+    return dist
+
+
+# ----------------------------------------------------------------------
+# coordinate kernels (RIN scanning)
+# ----------------------------------------------------------------------
+def pairwise_distances(coords: np.ndarray) -> np.ndarray:
+    """Dense Euclidean distance matrix of ``(n, d)`` coordinates.
+
+    Uses the Gram-matrix identity ``|a-b|² = |a|² + |b|² - 2a·b`` — one
+    BLAS matmul instead of an ``(n, n, d)`` broadcast — with a clip for
+    the tiny negatives float cancellation produces on the diagonal.
+    """
+    coords = np.asarray(coords, dtype=np.float64)
+    sq = np.einsum("ij,ij->i", coords, coords)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (coords @ coords.T)
+    np.maximum(d2, 0.0, out=d2)
+    np.fill_diagonal(d2, 0.0)
+    return np.sqrt(d2)
+
+
+def sorted_contact_order(
+    distance_matrix: np.ndarray, *, min_separation: int = 1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Upper-triangle pairs ordered by ascending distance.
+
+    Returns ``(pairs, distances)`` with ``pairs[i] = (u, v)``, ``u < v``,
+    ``|u - v| >= min_separation`` and ``distances`` sorted ascending.
+    A cut-off sweep then reduces to ``searchsorted`` prefixes of this
+    order: the edge set at cut-off ``c`` is ``pairs[:searchsorted(d, c)]``
+    — the distance matrix is thresholded *once* for the whole sweep.
+    """
+    n = distance_matrix.shape[0]
+    iu, iv = np.triu_indices(n, k=max(1, int(min_separation)))
+    d = distance_matrix[iu, iv]
+    order = np.argsort(d, kind="stable")
+    pairs = np.column_stack([iu[order], iv[order]]).astype(np.int64)
+    return pairs, d[order]
+
+
+# ----------------------------------------------------------------------
+# k-core (bulk peeling)
+# ----------------------------------------------------------------------
+def core_numbers(csr: CSRGraph) -> np.ndarray:
+    """Per-node coreness via vectorized bulk peeling.
+
+    Instead of removing one minimum-degree node at a time (the scalar
+    Batagelj-Zaveršnik order), each round removes *every* node at the
+    current peeling floor in whole waves: gather the wave's arcs, drop the
+    removed endpoints, decrement survivor degrees with one ``bincount``.
+    Round count is bounded by the degeneracy, wave count by the peeling
+    depth — both tiny for RIN-like graphs.
+    """
+    n = csr.n
+    core = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return core
+    indptr, indices = csr.indptr, csr.indices
+    deg = csr.degrees().astype(np.int64).copy()
+    alive = np.ones(n, dtype=bool)
+    remaining = n
+    floor = 0
+    while remaining:
+        floor = max(floor, int(deg[alive].min()))
+        wave = np.flatnonzero(alive & (deg <= floor))
+        while len(wave):
+            core[wave] = floor
+            alive[wave] = False
+            remaining -= len(wave)
+            if len(wave) <= 32:
+                # Cascade waves are usually a handful of nodes: direct
+                # slice concatenation beats the vectorized gather's fixed
+                # call overhead at this size.
+                heads = (
+                    np.concatenate(
+                        [indices[indptr[u] : indptr[u + 1]] for u in wave]
+                    )
+                    if len(wave) > 1
+                    else indices[indptr[wave[0]] : indptr[wave[0] + 1]]
+                )
+            else:
+                _, heads = expand_arcs(csr, wave)
+            touched = heads[alive[heads]]
+            if len(touched) == 0:
+                break
+            deg -= np.bincount(touched, minlength=n)
+            wave = np.flatnonzero(alive & (deg <= floor))
+    return core

@@ -21,16 +21,94 @@ from __future__ import annotations
 import numpy as np
 
 from ..csr import CSRGraph
-from ..distance import bfs_distances
 from ..graph import Graph
+from ..kernels import batched_bfs_distances, source_blocks
 
 __all__ = ["MaxentStress", "maxent_stress_layout"]
 
 _EPS = 1e-9
+_IMPLEMENTATIONS = ("vectorized", "reference")
+
+
+def _khop_pairs_reference(
+    csr: CSRGraph, k: int, max_pairs_per_node: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Scalar truncated-BFS discovery of the 2..k-hop pairs (per node)."""
+    n = csr.n
+    extra_t: list[int] = []
+    extra_h: list[int] = []
+    extra_d: list[float] = []
+    for u in range(n):
+        # Truncated BFS: stop at depth k.
+        seen = {u: 0}
+        frontier = [u]
+        depth = 0
+        budget = max_pairs_per_node
+        while frontier and depth < k and budget > 0:
+            depth += 1
+            nxt = []
+            for x in frontier:
+                for v in csr.neighbors(x):
+                    v = int(v)
+                    if v not in seen:
+                        seen[v] = depth
+                        nxt.append(v)
+                        if depth >= 2 and budget > 0:
+                            extra_t.append(u)
+                            extra_h.append(v)
+                            extra_d.append(float(depth))
+                            budget -= 1
+            frontier = nxt
+    return (
+        np.asarray(extra_t, dtype=np.int64),
+        np.asarray(extra_h, dtype=np.int64),
+        np.asarray(extra_d, dtype=np.float64),
+    )
+
+
+def _khop_pairs_vectorized(
+    csr: CSRGraph, k: int, max_pairs_per_node: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batched depth-capped BFS discovery of the 2..k-hop pairs.
+
+    Multi-source BFS truncated at depth ``k``, processed in source blocks
+    so peak memory stays O(block × n) rather than a dense (n, n) matrix;
+    a node's pairs live entirely within its block, so the per-node budget
+    (keep the lowest (depth, head) pairs, mirroring the reference
+    heuristic's breadth-first preference) applies per block.
+    """
+    n = csr.n
+    out_t: list[np.ndarray] = []
+    out_h: list[np.ndarray] = []
+    out_d: list[np.ndarray] = []
+    for lo, hi in source_blocks(0, n, n):
+        dist = batched_bfs_distances(csr, np.arange(lo, hi), max_depth=k)
+        t, h = np.nonzero((dist >= 2) & (dist <= k))
+        if len(t) == 0:
+            continue
+        d = dist[t, h].astype(np.float64)
+        # Per-tail budget: keep the lowest (depth, head) pairs of each node.
+        order = np.lexsort((h, d, t))
+        t, h, d = t[order], h[order], d[order]
+        starts = np.flatnonzero(np.concatenate([[True], t[1:] != t[:-1]]))
+        run_lengths = np.diff(np.concatenate([starts, [len(t)]]))
+        # Rank within each tail's run: position minus the run's start.
+        rank = np.arange(len(t)) - np.repeat(starts, run_lengths)
+        keep = rank < max_pairs_per_node
+        out_t.append(t[keep].astype(np.int64) + lo)
+        out_h.append(h[keep].astype(np.int64))
+        out_d.append(d[keep])
+    if not out_t:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+        )
+    return np.concatenate(out_t), np.concatenate(out_h), np.concatenate(out_d)
 
 
 def _known_pairs(
-    csr: CSRGraph, k: int, max_pairs_per_node: int
+    csr: CSRGraph, k: int, max_pairs_per_node: int, *, impl: str = "vectorized"
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Arc list (tails, heads, target distance) for the ≤ k-hop pairs.
 
@@ -39,6 +117,12 @@ def _known_pairs(
     hop distance ≤ k (breadth-first truncated), with d = hop count.  The
     arc list contains both directions of every pair so per-node reductions
     are single bincount calls.
+
+    The two engines agree exactly whenever the per-node budget does not
+    bind. When it does bind, they intentionally truncate differently —
+    reference keeps BFS discovery order, vectorized keeps the lowest
+    (depth, head) pairs — so differential layout tests must use graphs
+    whose 2..k-hop neighbourhoods stay within the budget.
     """
     n = csr.n
     rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(csr.indptr))
@@ -46,34 +130,14 @@ def _known_pairs(
     heads = [csr.indices.astype(np.int64)]
     dists = [np.maximum(csr.weights, _EPS)]
     if k > 1:
-        extra_t: list[int] = []
-        extra_h: list[int] = []
-        extra_d: list[float] = []
-        for u in range(n):
-            # Truncated BFS: stop at depth k.
-            seen = {u: 0}
-            frontier = [u]
-            depth = 0
-            budget = max_pairs_per_node
-            while frontier and depth < k and budget > 0:
-                depth += 1
-                nxt = []
-                for x in frontier:
-                    for v in csr.neighbors(x):
-                        v = int(v)
-                        if v not in seen:
-                            seen[v] = depth
-                            nxt.append(v)
-                            if depth >= 2 and budget > 0:
-                                extra_t.append(u)
-                                extra_h.append(v)
-                                extra_d.append(float(depth))
-                                budget -= 1
-                frontier = nxt
-        if extra_t:
-            tails.append(np.asarray(extra_t, dtype=np.int64))
-            heads.append(np.asarray(extra_h, dtype=np.int64))
-            dists.append(np.asarray(extra_d))
+        khop = (
+            _khop_pairs_vectorized if impl == "vectorized" else _khop_pairs_reference
+        )
+        extra_t, extra_h, extra_d = khop(csr, k, max_pairs_per_node)
+        if len(extra_t):
+            tails.append(extra_t)
+            heads.append(extra_h)
+            dists.append(extra_d)
     return np.concatenate(tails), np.concatenate(heads), np.concatenate(dists)
 
 
@@ -90,6 +154,7 @@ def maxent_stress_layout(
     tol: float = 1e-4,
     seed: int | None = 42,
     initial: np.ndarray | None = None,
+    impl: str = "vectorized",
 ) -> np.ndarray:
     """Compute an ``(n, dim)`` Maxent-Stress embedding.
 
@@ -115,7 +180,13 @@ def maxent_stress_layout(
     initial:
         Warm-start coordinates, e.g. the previous frame's layout — this is
         what makes widget frame switches cheaper than cold layouts.
+    impl:
+        ``"vectorized"`` (default) uses batched BFS for pair discovery and
+        bincount scatter-adds in the local iteration; ``"reference"`` uses
+        per-node BFS and ``np.add.at`` — same model, naive kernels.
     """
+    if impl not in _IMPLEMENTATIONS:
+        raise ValueError(f"impl must be one of {_IMPLEMENTATIONS}, got {impl!r}")
     csr = g.csr() if isinstance(g, Graph) else g
     n = csr.n
     if dim < 1:
@@ -132,11 +203,25 @@ def maxent_stress_layout(
     if csr.nnz == 0:
         return x  # nothing to optimize against
 
-    tails, heads, d_target = _known_pairs(csr, max(1, k), max_pairs_per_node=24)
+    tails, heads, d_target = _known_pairs(
+        csr, max(1, k), max_pairs_per_node=24, impl=impl
+    )
     w = 1.0 / np.maximum(d_target, _EPS) ** 2
     rho = np.bincount(tails, weights=w, minlength=n)
     rho = np.maximum(rho, _EPS)
     degrees = csr.degrees()
+
+    if impl == "vectorized":
+        # Segment scatter: one bincount per coordinate axis (compiled
+        # accumulation) instead of the element-at-a-time np.add.at ufunc.
+        def scatter_add(agg: np.ndarray, contrib: np.ndarray) -> None:
+            for axis in range(agg.shape[1]):
+                agg[:, axis] += np.bincount(
+                    tails, weights=contrib[:, axis], minlength=n
+                )
+    else:
+        def scatter_add(agg: np.ndarray, contrib: np.ndarray) -> None:
+            np.add.at(agg, tails, contrib)
 
     a = float(alpha)
     scale = float(np.mean(d_target))
@@ -149,7 +234,7 @@ def maxent_stress_layout(
             coeff = (w * d_target / dist)[:, None]
             contrib = w[:, None] * x[heads] + coeff * diff
             agg = np.zeros_like(x)
-            np.add.at(agg, tails, contrib)
+            scatter_add(agg, contrib)
 
             if repulsion_samples > 0 and a > 0.0 and n > 1:
                 q = min(repulsion_samples, n - 1)
@@ -190,6 +275,7 @@ class MaxentStress:
         *,
         seed: int | None = 42,
         initial: np.ndarray | None = None,
+        impl: str = "vectorized",
         **kwargs,
     ):
         self._g = g
@@ -197,7 +283,7 @@ class MaxentStress:
         self._k = k
         self._seed = seed
         self._initial = initial
-        self._kwargs = kwargs
+        self._kwargs = dict(kwargs, impl=impl)
         self._coords: np.ndarray | None = None
 
     def run(self) -> "MaxentStress":

@@ -6,16 +6,20 @@ Implements the three distance criteria from paper §IV:
 * ``com`` — distance between residue centres of mass,
 * ``min`` — minimum distance over all heavy-atom pairs of the residues.
 
-All kernels are fully vectorized: the minimum-distance matrix is computed
-as one all-atom pairwise-distance matrix reduced blockwise with two
-``np.minimum.reduceat`` passes (no Python loop over residue pairs), which
-is what keeps widget cut-off switches in the single-millisecond regime.
+All kernels are fully vectorized: pairwise distances come from the
+BLAS-backed Gram-matrix kernel
+(:func:`repro.graphkit.kernels.pairwise_distances`) and the
+minimum-distance matrix is one all-atom distance matrix reduced blockwise
+with two ``np.minimum.reduceat`` passes (no Python loop over residue
+pairs), which is what keeps widget cut-off switches in the
+single-millisecond regime.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..graphkit.kernels import pairwise_distances
 from .topology import Topology
 
 __all__ = [
@@ -33,9 +37,7 @@ CRITERIA = ("ca", "com", "min")
 
 def ca_distance_matrix(topology: Topology, frame: np.ndarray) -> np.ndarray:
     """C-alpha pairwise distances, ``(n_res, n_res)`` in Å."""
-    ca = frame[topology.ca_indices()]
-    diff = ca[:, None, :] - ca[None, :, :]
-    return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    return pairwise_distances(frame[topology.ca_indices()])
 
 
 def com_distance_matrix(topology: Topology, frame: np.ndarray) -> np.ndarray:
@@ -50,8 +52,7 @@ def com_distance_matrix(topology: Topology, frame: np.ndarray) -> np.ndarray:
             np.bincount(owner, weights=masses * frame[:, axis], minlength=n_res)
             / total
         )
-    diff = com[:, None, :] - com[None, :, :]
-    return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    return pairwise_distances(com)
 
 
 def min_distance_matrix(topology: Topology, frame: np.ndarray) -> np.ndarray:
@@ -61,9 +62,7 @@ def min_distance_matrix(topology: Topology, frame: np.ndarray) -> np.ndarray:
     benchmark proteins) reduced to residue blocks via ``minimum.reduceat``
     along both axes.
     """
-    frame = np.asarray(frame, dtype=np.float64)
-    diff = frame[:, None, :] - frame[None, :, :]
-    atom_d = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    atom_d = pairwise_distances(frame)
     starts = np.asarray([r.atom_start for r in topology.residues], dtype=np.int64)
     # Reduce rows then columns to per-residue-block minima.
     rows = np.minimum.reduceat(atom_d, starts, axis=0)

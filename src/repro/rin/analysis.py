@@ -16,6 +16,7 @@ import numpy as np
 from ..graphkit import Graph
 from ..graphkit.centrality import Betweenness, Closeness
 from ..graphkit.community import PLM, Partition, nmi
+from ..graphkit.csr import CSRGraph
 from ..md.topology import Topology
 
 __all__ = [
@@ -26,7 +27,7 @@ __all__ = [
 ]
 
 
-def hubs(g: Graph, *, threshold: int | None = None) -> np.ndarray:
+def hubs(g: Graph | CSRGraph, *, threshold: int | None = None) -> np.ndarray:
     """Residues whose degree is unusually high.
 
     With ``threshold=None`` uses the common RIN-literature convention

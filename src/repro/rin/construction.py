@@ -71,6 +71,11 @@ class RINBuilder:
         self._cache: dict[int, np.ndarray] = {}
         self._cache_order: list[int] = []
         self._cache_size = max(1, cache_size)
+        # Shared upper-triangle index pair (one allocation per topology)
+        # and per-frame condensed distance vectors: a cut-off/frame switch
+        # then thresholds a flat array instead of re-gathering the matrix.
+        self._triu: tuple[np.ndarray, np.ndarray] | None = None
+        self._condensed: dict[int, np.ndarray] = {}
 
     @property
     def trajectory(self) -> Trajectory:
@@ -96,15 +101,29 @@ class RINBuilder:
         if len(self._cache_order) > self._cache_size:
             evicted = self._cache_order.pop(0)
             self._cache.pop(evicted, None)
+            self._condensed.pop(evicted, None)
         return dm
+
+    def _condensed_distances(self, frame: int) -> np.ndarray:
+        """Upper-triangle distance vector of ``frame`` (cached per frame)."""
+        cond = self._condensed.get(frame)
+        if cond is None:
+            dm = self.distance_matrix(frame)
+            if self._triu is None:
+                self._triu = np.triu_indices(dm.shape[0], k=max(1, self._min_sep))
+            cond = dm[self._triu]
+            self._condensed[frame] = cond
+        return cond
 
     def edges(self, frame: int, cutoff: float) -> np.ndarray:
         """Contact pairs of ``frame`` at ``cutoff`` (``(m, 2)`` array)."""
-        return contact_pairs(
-            self.distance_matrix(frame),
-            cutoff,
-            min_sequence_separation=self._min_sep,
-        )
+        if cutoff <= 0:
+            raise ValueError(f"cutoff must be positive, got {cutoff}")
+        d = self._condensed_distances(frame)
+        assert self._triu is not None
+        mask = d <= cutoff
+        iu, iv = self._triu
+        return np.column_stack([iu[mask], iv[mask]]).astype(np.int64)
 
     def build(self, frame: int, cutoff: float) -> Graph:
         """Materialize the RIN graph of ``frame`` at ``cutoff``."""
@@ -114,8 +133,5 @@ class RINBuilder:
 
     def edge_counts(self, cutoffs: np.ndarray, frame: int = 0) -> np.ndarray:
         """Edge count per cut-off — the topology-vs-cutoff profile of §IV."""
-        dm = self.distance_matrix(frame)
-        n = dm.shape[0]
-        iu, iv = np.triu_indices(n, k=max(1, self._min_sep))
-        d = dm[iu, iv]
-        return np.asarray([(d <= c).sum() for c in np.asarray(cutoffs)])
+        d = np.sort(self._condensed_distances(frame))
+        return np.searchsorted(d, np.asarray(cutoffs), side="right")

@@ -38,6 +38,12 @@ class EdgeUpdate:
 class DynamicRIN:
     """A RIN that follows the widget's (frame, cutoff) state.
 
+    The edge diff between the current and target contact sets is computed
+    on packed int64 edge keys (``u * n + v``) with sorted set differences
+    (``impl="vectorized"``, default) — Python-level set algebra over tuple
+    pairs remains available as ``impl="reference"`` for differential
+    testing. Only the (typically small) diff touches the mutable graph.
+
     Examples
     --------
     >>> from repro.md import proteins, generate_trajectory
@@ -57,18 +63,32 @@ class DynamicRIN:
         cutoff: float = 4.5,
         criterion: DistanceCriterion | str = DistanceCriterion.MINIMUM,
         min_sequence_separation: int = 1,
+        impl: str = "vectorized",
     ):
         if cutoff <= 0:
             raise ValueError(f"cutoff must be positive, got {cutoff}")
+        if impl not in ("vectorized", "reference"):
+            raise ValueError(f"impl must be 'vectorized' or 'reference', got {impl!r}")
         self._builder = RINBuilder(
             trajectory,
             criterion=criterion,
             min_sequence_separation=min_sequence_separation,
         )
+        self._impl = impl
         self._frame = int(frame)
         self._cutoff = float(cutoff)
         trajectory.frame(self._frame)  # validates the index
         self._graph = self._builder.build(self._frame, self._cutoff)
+        self._edge_keys = self._pack(self._graph.edge_array())
+
+    def _pack(self, edges: np.ndarray) -> np.ndarray:
+        """Sorted int64 keys ``u * n + v`` of canonical (u < v) edge pairs."""
+        n = self._graph.number_of_nodes()
+        if len(edges) == 0:
+            return np.empty(0, dtype=np.int64)
+        keys = edges[:, 0].astype(np.int64) * n + edges[:, 1]
+        keys.sort()
+        return keys
 
     # ------------------------------------------------------------------
     @property
@@ -103,11 +123,25 @@ class DynamicRIN:
     # ------------------------------------------------------------------
     def _apply_target(self, target_edges: np.ndarray) -> EdgeUpdate:
         """Diff the current edge set against ``target_edges`` and apply."""
-        current = self._graph.edge_set()
-        target = {(int(u), int(v)) for u, v in target_edges}
-        to_add = target - current
-        to_remove = current - target
-        added, removed = self._graph.update_edges(add=to_add, remove=to_remove)
+        if self._impl == "reference":
+            current = self._graph.edge_set()
+            target = {(int(u), int(v)) for u, v in target_edges}
+            to_add = target - current
+            to_remove = current - target
+            added, removed = self._graph.update_edges(add=to_add, remove=to_remove)
+            self._edge_keys = self._pack(self._graph.edge_array())
+            return EdgeUpdate(added=added, removed=removed)
+        n = self._graph.number_of_nodes()
+        target_keys = self._pack(np.asarray(target_edges, dtype=np.int64))
+        # Both key arrays are sorted and duplicate-free: the set differences
+        # are two compiled merges, no Python-level pair hashing.
+        add_keys = np.setdiff1d(target_keys, self._edge_keys, assume_unique=True)
+        remove_keys = np.setdiff1d(self._edge_keys, target_keys, assume_unique=True)
+        added, removed = self._graph.update_edges(
+            add=zip(*divmod(add_keys, n)) if len(add_keys) else (),
+            remove=zip(*divmod(remove_keys, n)) if len(remove_keys) else (),
+        )
+        self._edge_keys = target_keys
         return EdgeUpdate(added=added, removed=removed)
 
     def set_cutoff(self, cutoff: float) -> EdgeUpdate:
@@ -139,4 +173,5 @@ class DynamicRIN:
     def rebuild(self) -> Graph:
         """Rebuild from scratch (reference implementation for testing)."""
         self._graph = self._builder.build(self._frame, self._cutoff)
+        self._edge_keys = self._pack(self._graph.edge_array())
         return self._graph

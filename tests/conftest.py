@@ -67,12 +67,3 @@ def karate() -> Graph:
     return Graph.from_edges(nxg.number_of_nodes(), nxg.edges())
 
 
-def to_networkx(g: Graph) -> nx.Graph:
-    """Convert a repro Graph to networkx for cross-validation."""
-    out = nx.DiGraph() if g.directed else nx.Graph()
-    out.add_nodes_from(range(g.number_of_nodes()))
-    if g.weighted:
-        out.add_weighted_edges_from(g.iter_weighted_edges())
-    else:
-        out.add_edges_from(g.iter_edges())
-    return out

@@ -15,7 +15,7 @@ from repro.graphkit.centrality import (
 )
 from repro.graphkit.generators import erdos_renyi
 
-from ..conftest import to_networkx
+from tests.helpers import to_networkx
 
 SEEDS = [1, 7, 23, 99]
 

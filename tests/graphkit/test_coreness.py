@@ -12,7 +12,7 @@ from repro.graphkit import (
 )
 from repro.graphkit.generators import erdos_renyi
 
-from ..conftest import to_networkx
+from tests.helpers import to_networkx
 
 
 class TestCoreDecomposition:

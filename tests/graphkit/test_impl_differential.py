@@ -1,0 +1,172 @@
+"""Differential tests: vectorized engines vs impl="reference" naive paths.
+
+Every hot-path algorithm carries two engines; these tests pin them to each
+other (and transitively to networkx, which the reference engines are
+cross-validated against elsewhere) on canonical fixtures and edge cases.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphkit import Graph, core_decomposition
+from repro.graphkit.centrality import (
+    Betweenness,
+    Closeness,
+    DegreeCentrality,
+    HarmonicCloseness,
+    KatzCentrality,
+    PageRank,
+)
+from repro.graphkit.generators import erdos_renyi
+from repro.graphkit.layout import maxent_stress_layout
+
+SEEDS = [1, 7, 23]
+
+CENTRALITY_FACTORIES = [
+    pytest.param(lambda g, impl: DegreeCentrality(g, impl=impl), id="degree"),
+    pytest.param(
+        lambda g, impl: DegreeCentrality(g, weighted=True, impl=impl),
+        id="degree-weighted",
+    ),
+    pytest.param(
+        lambda g, impl: Closeness(g, normalized=True, impl=impl), id="closeness"
+    ),
+    pytest.param(
+        lambda g, impl: HarmonicCloseness(g, normalized=False, impl=impl),
+        id="harmonic",
+    ),
+    pytest.param(lambda g, impl: Betweenness(g, impl=impl), id="betweenness"),
+    pytest.param(lambda g, impl: PageRank(g, tol=1e-13, impl=impl), id="pagerank"),
+    pytest.param(
+        lambda g, impl: KatzCentrality(g, method="series", tol=1e-13, impl=impl),
+        id="katz",
+    ),
+]
+
+
+def both_impls(factory, g):
+    fast = factory(g, "vectorized").run().scores_array()
+    slow = factory(g, "reference").run().scores_array()
+    return fast, slow
+
+
+class TestCentralityDifferential:
+    @pytest.mark.parametrize("factory", CENTRALITY_FACTORIES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_graphs(self, factory, seed):
+        g = erdos_renyi(45, 0.1, seed=seed)
+        fast, slow = both_impls(factory, g)
+        assert np.allclose(fast, slow, atol=1e-8)
+
+    @pytest.mark.parametrize("factory", CENTRALITY_FACTORIES)
+    def test_karate(self, factory, karate):
+        fast, slow = both_impls(factory, karate)
+        assert np.allclose(fast, slow, atol=1e-8)
+
+    @pytest.mark.parametrize("factory", CENTRALITY_FACTORIES)
+    def test_disconnected_with_isolated_node(self, factory, disconnected):
+        fast, slow = both_impls(factory, disconnected)
+        assert np.allclose(fast, slow, atol=1e-10)
+
+    @pytest.mark.parametrize("factory", CENTRALITY_FACTORIES)
+    def test_empty_graph(self, factory):
+        fast, slow = both_impls(factory, Graph(0))
+        assert fast.shape == (0,) and slow.shape == (0,)
+
+    @pytest.mark.parametrize("factory", CENTRALITY_FACTORIES)
+    def test_edgeless_graph(self, factory):
+        fast, slow = both_impls(factory, Graph(4))
+        assert np.allclose(fast, slow)
+
+    def test_invalid_impl_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            Betweenness(triangle, impl="magic")
+
+    def test_approximations_reject_reference_impl(self, karate):
+        # Sampling estimators have no scalar twin; a silent fallback to the
+        # vectorized engine would make differential tests pass vacuously.
+        from repro.graphkit.centrality import ApproxCloseness, EstimateBetweenness
+
+        for alg in (
+            EstimateBetweenness(karate, impl="reference"),
+            ApproxCloseness(karate, impl="reference"),
+        ):
+            with pytest.raises(NotImplementedError):
+                alg.run()
+
+    def test_rin_graph(self, a3d_traj):
+        from repro.rin import build_rin
+
+        g = build_rin(a3d_traj.topology, a3d_traj.frame(0), 6.0)
+        for factory in (
+            lambda g, impl: Closeness(g, normalized=True, impl=impl),
+            lambda g, impl: Betweenness(g, normalized=True, impl=impl),
+            lambda g, impl: DegreeCentrality(g, impl=impl),
+        ):
+            fast, slow = both_impls(factory, g)
+            assert np.allclose(fast, slow, atol=1e-8)
+
+
+class TestCorenessDifferential:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_graphs(self, seed):
+        g = erdos_renyi(70, 0.07, seed=seed)
+        assert (
+            core_decomposition(g, impl="vectorized").tolist()
+            == core_decomposition(g, impl="reference").tolist()
+        )
+
+    def test_star_and_triangle(self, star5, triangle):
+        for g in (star5, triangle):
+            assert (
+                core_decomposition(g, impl="vectorized").tolist()
+                == core_decomposition(g, impl="reference").tolist()
+            )
+
+
+class TestLayoutDifferential:
+    @pytest.mark.parametrize("k", [1, 3])
+    def test_same_seed_same_layout(self, two_triangles, k):
+        fast = maxent_stress_layout(
+            two_triangles, 3, k, seed=5, impl="vectorized"
+        )
+        slow = maxent_stress_layout(
+            two_triangles, 3, k, seed=5, impl="reference"
+        )
+        assert np.allclose(fast, slow, atol=1e-6)
+
+    def test_khop_pair_sets_match_when_cap_unbinding(self):
+        # On a cycle every node has exactly two nodes per hop distance, so
+        # the per-node pair budget never binds and the two discovery
+        # strategies must select the *same* pair set.
+        from repro.graphkit.layout.maxent_stress import (
+            _khop_pairs_reference,
+            _khop_pairs_vectorized,
+        )
+
+        ring = Graph.from_edges(12, [(i, (i + 1) % 12) for i in range(12)])
+        for k in (2, 3, 4):
+            ft, fh, fd = _khop_pairs_vectorized(ring.csr(), k, 24)
+            st, sh, sd = _khop_pairs_reference(ring.csr(), k, 24)
+            fast = set(zip(ft.tolist(), fh.tolist(), fd.tolist()))
+            slow = set(zip(st.tolist(), sh.tolist(), sd.tolist()))
+            assert fast == slow
+
+    def test_ring_layout_k3(self):
+        ring = Graph.from_edges(16, [(i, (i + 1) % 16) for i in range(16)])
+        fast = maxent_stress_layout(
+            ring, 2, 3, seed=2, repulsion_samples=0, impl="vectorized"
+        )
+        slow = maxent_stress_layout(
+            ring, 2, 3, seed=2, repulsion_samples=0, impl="reference"
+        )
+        assert np.allclose(fast, slow, atol=1e-6)
+
+    def test_empty_and_edgeless(self):
+        assert maxent_stress_layout(Graph(0), 3, 1, impl="vectorized").shape == (0, 3)
+        out = maxent_stress_layout(Graph(3), 2, 1, seed=1, impl="vectorized")
+        assert out.shape == (3, 2)
+
+    def test_invalid_impl_rejected(self, triangle):
+        with pytest.raises(ValueError):
+            maxent_stress_layout(triangle, 3, 1, impl="nope")

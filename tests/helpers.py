@@ -1,0 +1,20 @@
+"""Shared test helpers (importable, unlike conftest fixtures)."""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.graphkit import Graph
+
+__all__ = ["to_networkx"]
+
+
+def to_networkx(g: Graph) -> nx.Graph:
+    """Convert a repro Graph to networkx for cross-validation."""
+    out = nx.DiGraph() if g.directed else nx.Graph()
+    out.add_nodes_from(range(g.number_of_nodes()))
+    if g.weighted:
+        out.add_weighted_edges_from(g.iter_weighted_edges())
+    else:
+        out.add_edges_from(g.iter_edges())
+    return out

@@ -1,0 +1,1 @@
+"""Test package (unique import namespace for pytest collection)."""
