@@ -8,7 +8,13 @@ Times every hot path that gained a CSR-kernel engine against its
 * Fig. 7 (cut-off switch): the full cut-off scan and the DynamicRIN
   cut-off diff sequence;
 * Fig. 8 (frame switch): the DynamicRIN frame-sweep diff loop and the
-  Maxent-Stress layout (k=3, the paper's Listing 1 parameters).
+  Maxent-Stress layout (k=3, the paper's Listing 1 parameters);
+* interactive latency: a burst of rapid cut-off slider events replayed
+  synchronously (one full update per event — the paper-era interaction
+  model, ``reference``) vs submitted to the debounced/cancellable
+  ``AsyncUpdatePipeline`` (``vectorized``). Both timings are
+  *time-to-last-consistent-frame*: the wall time until the final burst
+  state is fully published to the figures.
 
 Writes ``BENCH_vectorized.json`` at the repo root and prints a table.
 Run:  PYTHONPATH=src python benchmarks/bench_vectorized.py [--quick]
@@ -24,6 +30,7 @@ import time
 from pathlib import Path
 
 from repro.bench import PAPER_HIGH_CUTOFF, PAPER_PROTEINS, protein_trajectory
+from repro.core import AsyncUpdatePipeline, UpdatePipeline
 from repro.graphkit.centrality import (
     Betweenness,
     Closeness,
@@ -123,6 +130,32 @@ def main() -> int:
             f"layout_maxent_k3_{protein}",
             lambda impl: maxent_stress_layout(g_high, 3, 3, seed=42, impl=impl),
         )
+
+        # Interactive latency — N rapid cut-off events; the number reported
+        # is time-to-last-consistent-frame. 'reference' replays every event
+        # through the blocking pipeline; 'vectorized' submits the burst to
+        # the async pipeline (debounce + stale-event cancellation), which
+        # coalesces it into O(1) solves.
+        sync_pipe = UpdatePipeline(
+            DynamicRIN(traj, frame=0, cutoff=4.5), measure="Degree Centrality"
+        )
+        async_pipe = AsyncUpdatePipeline(
+            DynamicRIN(traj, frame=0, cutoff=4.5),
+            measure="Degree Centrality",
+            debounce_ms=5,
+        )
+
+        def interactive_burst(impl):
+            if impl == "reference":
+                for c in SWITCH_CUTOFFS:
+                    sync_pipe.switch_cutoff(c)
+            else:
+                for c in SWITCH_CUTOFFS:
+                    async_pipe.submit(cutoff=c)
+                async_pipe.flush()
+
+        record(f"interactive_burst_{protein}", interactive_burst)
+        async_pipe.close()
 
     # Aggregate per workload class (summed over proteins): the speedup
     # figure the acceptance gate reads, robust to tiny-protein overhead.

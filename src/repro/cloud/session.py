@@ -59,6 +59,8 @@ class CloudSession:
         n_frames: int = 10,
         client_address: str | None = None,
         seed: int = 7,
+        async_updates: bool = False,
+        debounce_ms: float = 0.0,
     ):
         self._hub = hub
         self._proxy = proxy
@@ -66,7 +68,13 @@ class CloudSession:
         self.username = username
         self._address = client_address or f"198.51.100.{abs(hash(username)) % 250}"
         self.pod: Pod = hub.login(username, password)
-        self.app = RINExplorer(protein, n_frames=n_frames, seed=seed)
+        self.app = RINExplorer(
+            protein,
+            n_frames=n_frames,
+            seed=seed,
+            async_updates=async_updates,
+            debounce_ms=debounce_ms,
+        )
         self.requests: list[SessionRequest] = []
 
     # ------------------------------------------------------------------
@@ -132,9 +140,47 @@ class CloudSession:
             "frame", lambda: self.app.widget.pipeline.switch_frame(frame)
         )
 
+    def slider_burst(self, action: str, values: list) -> SessionRequest:
+        """A rapid slider drag executed as one coalesced async update.
+
+        Requires the session's widget to run with ``async_updates=True``.
+        All ``values`` are submitted back-to-back (the user dragging the
+        slider); the pod only pays for the O(1) solves the async pipeline
+        actually runs, and the request's ``server_ms`` is the published
+        final result's timing — the paper-era per-event replay would have
+        cost one full solve per value.
+        """
+        from ..core.pipeline import AsyncUpdatePipeline
+
+        pipeline = self.app.widget.pipeline
+        if not isinstance(pipeline, AsyncUpdatePipeline):
+            raise TypeError(
+                "slider_burst needs async_updates=True on the CloudSession"
+            )
+        if action not in ("frame", "cutoff"):
+            raise ValueError(f"burst action must be 'frame' or 'cutoff', got {action!r}")
+        if not values:
+            raise ValueError("burst needs at least one slider value")
+
+        def run() -> UpdateTiming:
+            for v in values:
+                pipeline.submit(**{action: v})
+            timing = pipeline.flush()
+            assert timing is not None
+            return timing
+
+        return self._execute(f"{action}-burst", run)
+
     def close(self) -> None:
-        """End the session (delete the pod)."""
-        self._hub.logout(self.username)
+        """End the session: stop the widget's worker and delete the pod.
+
+        The pod is released even if the worker latched an error; the
+        error (if any) is re-raised after logout.
+        """
+        try:
+            self.app.close()
+        finally:
+            self._hub.logout(self.username)
 
     def mean_total_ms(self) -> float:
         """Mean end-to-end latency over this session's interactions."""

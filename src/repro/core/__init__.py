@@ -11,7 +11,7 @@ from .app import RINExplorer, SessionScript
 from .client import DEFAULT_COST_MODEL, ClientCostModel, ClientSimulator
 from .controls import Button, Checkbox, FloatSlider, IntSlider, SelectionSlider
 from .events import EventKind, EventLog, UpdateTiming
-from .pipeline import UpdatePipeline
+from .pipeline import AsyncStats, AsyncUpdatePipeline, UpdateCancelled, UpdatePipeline
 from .player import AnimationPlayer, PlaybackReport
 from .widget import RINWidget
 
@@ -22,6 +22,9 @@ __all__ = [
     "RINExplorer",
     "SessionScript",
     "UpdatePipeline",
+    "AsyncUpdatePipeline",
+    "AsyncStats",
+    "UpdateCancelled",
     "ClientSimulator",
     "ClientCostModel",
     "DEFAULT_COST_MODEL",

@@ -69,6 +69,8 @@ class RINExplorer:
         trajectory: Trajectory | None = None,
         cost_model: ClientCostModel | None = None,
         unfold_events: int = 1,
+        async_updates: bool = False,
+        debounce_ms: float = 0.0,
     ):
         if trajectory is None:
             topo, native = proteins.build(protein)
@@ -85,6 +87,8 @@ class RINExplorer:
             cutoff=cutoff,
             measure=measure,
             cost_model=cost_model,
+            async_updates=async_updates,
+            debounce_ms=debounce_ms,
         )
 
     def replay(self, script: SessionScript) -> list[UpdateTiming]:
@@ -101,7 +105,15 @@ class RINExplorer:
                 self.widget.recompute_button.click()
             else:
                 raise ValueError(f"unknown action {action!r}")
+        # Async widgets publish via completion callbacks: drain the queue
+        # so the returned slice covers everything this script produced
+        # (coalesced bursts yield fewer timings than steps).
+        self.widget.flush()
         return self.widget.log.entries[start:]
+
+    def close(self, *, raise_errors: bool = True) -> None:
+        """Release widget resources (stops the async worker, if any)."""
+        self.widget.close(raise_errors=raise_errors)
 
     def summary(self) -> dict[str, float]:
         """Mean perceived latency (ms) per event kind so far."""

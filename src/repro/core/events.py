@@ -41,6 +41,8 @@ class UpdateTiming:
     client_ms: float = 0.0
     edges_after: int = 0
     edges_changed: int = 0
+    #: Generation counter stamped by the async pipeline (-1 = synchronous).
+    generation: int = -1
 
     @property
     def server_ms(self) -> float:

@@ -8,10 +8,11 @@ achieved frame rate plus dropped frames against a target.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from .events import EventKind, UpdateTiming
-from .pipeline import UpdatePipeline
+from .pipeline import AsyncUpdatePipeline, UpdatePipeline
 
 __all__ = ["PlaybackReport", "AnimationPlayer"]
 
@@ -34,9 +35,15 @@ class PlaybackReport:
 
 
 class AnimationPlayer:
-    """Plays trajectory frames through an :class:`UpdatePipeline`."""
+    """Plays trajectory frames through an :class:`UpdatePipeline`.
 
-    def __init__(self, pipeline: UpdatePipeline):
+    Accepts either pipeline flavour: with an
+    :class:`~repro.core.pipeline.AsyncUpdatePipeline` the per-frame
+    methods use its blocking facade (submit + await), and :meth:`scrub`
+    additionally exposes the fire-and-coalesce scrubbing pattern.
+    """
+
+    def __init__(self, pipeline: UpdatePipeline | AsyncUpdatePipeline):
         self._pipeline = pipeline
 
     def play(
@@ -84,6 +91,59 @@ class AnimationPlayer:
             dropped_frames=sum(1 for ms in totals if ms > budget_ms),
             mean_frame_ms=mean_ms,
             worst_frame_ms=max(totals),
+        )
+
+    def scrub(
+        self,
+        frames: list[int],
+        *,
+        target_fps: float = 24.0,
+        flush_timeout: float = 120.0,
+    ) -> PlaybackReport:
+        """Drag the trajectory slider across ``frames`` without waiting.
+
+        Requires an :class:`~repro.core.pipeline.AsyncUpdatePipeline`:
+        every frame is *submitted* immediately (like a user scrubbing),
+        the pipeline coalesces to the newest frame and cancels stale
+        solves, and completion callbacks collect whatever frames actually
+        rendered. ``dropped_frames`` counts the submissions that were
+        coalesced away — the async analogue of a dropped video frame.
+        """
+        if not isinstance(self._pipeline, AsyncUpdatePipeline):
+            raise TypeError("scrub() needs an AsyncUpdatePipeline")
+        if not frames:
+            raise ValueError("no frames to play")
+        if target_fps <= 0:
+            raise ValueError(f"target_fps must be positive, got {target_fps}")
+        rendered: list[UpdateTiming] = []
+        # Only count events this scrub submitted: a publication of an
+        # earlier in-flight event must not skew dropped_frames/fps.
+        start_gen = self._pipeline.generation
+
+        def collect(gen: int, timing: UpdateTiming) -> None:
+            if gen > start_gen:
+                rendered.append(timing)
+
+        self._pipeline.add_result_callback(collect)
+        t0 = time.perf_counter()
+        try:
+            for f in frames:
+                self._pipeline.submit(frame=int(f))
+            self._pipeline.flush(flush_timeout)
+        finally:
+            self._pipeline.remove_result_callback(collect)
+        wall_ms = (time.perf_counter() - t0) * 1e3
+        totals = [t.total_ms for t in rendered]
+        mean_ms = sum(totals) / len(totals) if totals else 0.0
+        return PlaybackReport(
+            frames_played=len(frames),
+            target_fps=target_fps,
+            achieved_fps=(
+                1000.0 * len(rendered) / wall_ms if wall_ms > 0 else float("inf")
+            ),
+            dropped_frames=len(frames) - len(rendered),
+            mean_frame_ms=mean_ms,
+            worst_frame_ms=max(totals) if totals else 0.0,
         )
 
     def measure_animation(

@@ -28,7 +28,7 @@ from ..rin.measures import measure_names
 from .client import ClientCostModel, ClientSimulator
 from .controls import Button, Checkbox, FloatSlider, IntSlider, SelectionSlider
 from .events import EventKind, EventLog, UpdateTiming
-from .pipeline import UpdatePipeline
+from .pipeline import AsyncUpdatePipeline, UpdatePipeline
 
 __all__ = ["RINWidget"]
 
@@ -50,6 +50,14 @@ class RINWidget:
         Start with automatic recomputation on slider moves (paper: the
         user can "choose whether re-computation is done automatically or
         on demand").
+    async_updates:
+        When True, slider events are *submitted* to an
+        :class:`AsyncUpdatePipeline` instead of blocking the caller: a
+        burst of slider moves coalesces into O(1) solves, stale events
+        are cancelled mid-solve, and results land in :attr:`log` via a
+        completion callback. Call :meth:`flush` to await quiescence.
+    debounce_ms:
+        Async-mode debounce window before each solve (coalesces bursts).
     """
 
     def __init__(
@@ -63,14 +71,28 @@ class RINWidget:
         cutoff_range: tuple[float, float] = (3.0, 10.0),
         cost_model: ClientCostModel | None = None,
         auto_recompute: bool = True,
+        async_updates: bool = False,
+        debounce_ms: float = 0.0,
     ):
         self._trajectory = trajectory
         rin = DynamicRIN(
             trajectory, frame=frame, cutoff=cutoff, criterion=criterion
         )
         client = ClientSimulator(cost_model or ClientCostModel())
-        self._pipeline = UpdatePipeline(rin, measure=measure, client=client)
+        self._async = bool(async_updates)
         self.log = EventLog()
+        if self._async:
+            self._pipeline: UpdatePipeline | AsyncUpdatePipeline = (
+                AsyncUpdatePipeline(
+                    rin,
+                    measure=measure,
+                    client=client,
+                    debounce_ms=debounce_ms,
+                    on_result=self._on_async_result,
+                )
+            )
+        else:
+            self._pipeline = UpdatePipeline(rin, measure=measure, client=client)
 
         # --- controls (Figure 5 bottom row) --------------------------------
         self.frame_slider = IntSlider(
@@ -98,14 +120,44 @@ class RINWidget:
         # --- score buffer (delta view) --------------------------------------
         self._score_buffer: np.ndarray | None = None
         self._pending: list[str] = []  # deferred events while auto is off
+        # Recompute applies deferred state through the pipeline facades;
+        # those intermediate publications must not be logged (sync mode
+        # discards them too — only the FULL_RENDER entry is recorded).
+        self._suppress_async_log = False
 
     # ------------------------------------------------------------------
     # public state
     # ------------------------------------------------------------------
     @property
-    def pipeline(self) -> UpdatePipeline:
-        """The server-side update pipeline."""
+    def pipeline(self) -> UpdatePipeline | AsyncUpdatePipeline:
+        """The server-side update pipeline (async when ``async_updates``)."""
         return self._pipeline
+
+    @property
+    def async_updates(self) -> bool:
+        """Whether slider events go through the async pipeline."""
+        return self._async
+
+    def flush(self, timeout: float | None = 60.0) -> None:
+        """Await pipeline quiescence (no-op for the synchronous pipeline)."""
+        if isinstance(self._pipeline, AsyncUpdatePipeline):
+            self._pipeline.flush(timeout)
+
+    def close(self, *, raise_errors: bool = True) -> None:
+        """Release the widget's resources (stops the async worker thread).
+
+        No-op for the synchronous pipeline; safe to call repeatedly.
+        ``raise_errors=False`` suppresses re-raising a latched worker
+        error (used when another exception is already propagating).
+        """
+        if isinstance(self._pipeline, AsyncUpdatePipeline):
+            self._pipeline.close(raise_errors=raise_errors)
+
+    def __enter__(self) -> "RINWidget":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        self.close(raise_errors=exc_type is None)
 
     @property
     def graph(self):
@@ -141,32 +193,46 @@ class RINWidget:
     def _buffer_scores(self) -> None:
         self._score_buffer = self._pipeline.scores.copy()
 
+    def _on_async_result(self, generation: int, timing: UpdateTiming) -> None:
+        """Completion callback: a coalesced async update published."""
+        if not self._suppress_async_log:
+            self.log.record(timing)
+
+    def _dispatch(self, kind: str, value) -> None:
+        """Route one slider event to the active pipeline flavour."""
+        if isinstance(self._pipeline, AsyncUpdatePipeline):
+            # Buffer the pre-burst scores once; mid-burst submissions keep
+            # the buffer so score_delta() spans the whole interaction.
+            if self._pipeline.idle:
+                self._buffer_scores()
+            self._pipeline.submit(**{kind: value})
+            return
+        self._buffer_scores()
+        timing = self._pipeline.apply_event(**{kind: value})
+        self.log.record(timing)
+
     def _on_frame(self, change) -> None:
         if not self.auto_recompute.value:
             self._pending.append("frame")
             return
-        self._buffer_scores()
-        timing = self._pipeline.switch_frame(change["new"])
-        self.log.record(timing)
+        self._dispatch("frame", change["new"])
 
     def _on_cutoff(self, change) -> None:
         if not self.auto_recompute.value:
             self._pending.append("cutoff")
             return
-        self._buffer_scores()
-        timing = self._pipeline.switch_cutoff(change["new"])
-        self.log.record(timing)
+        self._dispatch("cutoff", change["new"])
 
     def _on_measure(self, change) -> None:
         if not self.auto_recompute.value:
             self._pending.append("measure")
             return
-        self._buffer_scores()
-        timing = self._pipeline.switch_measure(change["new"])
-        self.log.record(timing)
+        self._dispatch("measure", change["new"])
 
     def _on_recompute(self, _button) -> None:
-        # Apply any deferred state, then force a full render.
+        # Apply any deferred state, then force a full render. Only the
+        # FULL_RENDER entry reaches the log in either pipeline mode.
+        self.flush()
         self._buffer_scores()
         rin = self._pipeline.rin
         if rin.frame != self.frame_slider.value or rin.cutoff != (
@@ -176,7 +242,11 @@ class RINWidget:
                 frame=self.frame_slider.value, cutoff=self.cutoff_slider.value
             )
         if self._pipeline.measure.name != self.measure_slider.value:
-            self._pipeline.switch_measure(self.measure_slider.value)
+            self._suppress_async_log = True
+            try:
+                self._pipeline.switch_measure(self.measure_slider.value)
+            finally:
+                self._suppress_async_log = False
         timing = self._pipeline.full_render()
         self.log.record(timing)
         self._pending.clear()

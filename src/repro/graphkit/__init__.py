@@ -18,7 +18,7 @@ The public API intentionally mirrors NetworKit's run-pattern::
 from . import centrality, community, generators, io, kernels, layout
 from .components import ConnectedComponents, connected_components, largest_component
 from .coreness import CoreDecomposition, core_decomposition, local_clustering
-from .csr import CSRGraph
+from .csr import CSRDelta, CSRGraph, CSRSnapshotBuffer, pack_edge_keys
 from .distance import APSP, BFS, Diameter, all_pairs_distances, bfs_distances, dijkstra
 from .graph import Graph
 from .parallel import get_num_threads, set_num_threads
@@ -26,6 +26,9 @@ from .parallel import get_num_threads, set_num_threads
 __all__ = [
     "Graph",
     "CSRGraph",
+    "CSRDelta",
+    "CSRSnapshotBuffer",
+    "pack_edge_keys",
     "CoreDecomposition",
     "core_decomposition",
     "local_clustering",

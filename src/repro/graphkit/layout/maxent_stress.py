@@ -18,6 +18,8 @@ is O(|S| + n·q) NumPy work.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from ..csr import CSRGraph
@@ -155,6 +157,7 @@ def maxent_stress_layout(
     seed: int | None = 42,
     initial: np.ndarray | None = None,
     impl: str = "vectorized",
+    cancel: Callable[[], bool] | None = None,
 ) -> np.ndarray:
     """Compute an ``(n, dim)`` Maxent-Stress embedding.
 
@@ -184,6 +187,12 @@ def maxent_stress_layout(
         ``"vectorized"`` (default) uses batched BFS for pair discovery and
         bincount scatter-adds in the local iteration; ``"reference"`` uses
         per-node BFS and ``np.add.at`` — same model, naive kernels.
+    cancel:
+        Optional zero-argument callable polled once per local-iteration
+        sweep (solver-iteration granularity). When it returns True the
+        solve stops early and the *partial* coordinates are returned —
+        the async update pipeline uses this to abandon a stale slider
+        event while keeping the partial embedding as the next warm start.
     """
     if impl not in _IMPLEMENTATIONS:
         raise ValueError(f"impl must be one of {_IMPLEMENTATIONS}, got {impl!r}")
@@ -227,6 +236,8 @@ def maxent_stress_layout(
     scale = float(np.mean(d_target))
     while True:
         for _ in range(iterations_per_alpha):
+            if cancel is not None and cancel():
+                return x
             diff = x[tails] - x[heads]  # (nnz, dim)
             dist = np.linalg.norm(diff, axis=1)
             np.maximum(dist, _EPS, out=dist)

@@ -3,9 +3,22 @@
 The paper's widget never rebuilds the network from scratch when a slider
 moves: "Both routines consist of adding/removing edges and recomputing the
 Maxent-Stress layout phase" (§V-B). :class:`DynamicRIN` is that edge-update
-routine: it owns one :class:`~repro.graphkit.graph.Graph` whose node set is
-fixed (the residues) and applies set diffs on cut-off or frame switches,
-reporting how many edges changed.
+routine: it owns the residue node set and applies set diffs on cut-off or
+frame switches, reporting how many edges changed.
+
+Engine split (the twin-engine convention, see ``docs/ARCHITECTURE.md``):
+
+* ``impl="vectorized"`` (default) keeps the edge set as sorted packed
+  int64 keys and applies every diff to a double-buffered
+  :class:`~repro.graphkit.csr.CSRSnapshotBuffer` — the published
+  :attr:`csr` snapshot is rebuilt by a compiled merge
+  (:meth:`~repro.graphkit.csr.CSRDelta.apply`), with **no per-edge Python
+  dict mutation on the fast path**. The mutable dict-of-dicts
+  :class:`~repro.graphkit.graph.Graph` survives as a *lazily synchronized
+  view*: the first :attr:`graph` access after one or more updates replays
+  the accumulated net diff, off the hot path.
+* ``impl="reference"`` keeps the naive path: Python set algebra over
+  tuple pairs and per-edge dict mutation, for differential testing.
 """
 
 from __future__ import annotations
@@ -15,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graphkit import Graph
+from ..graphkit.csr import CSRGraph, CSRSnapshotBuffer, pack_edge_keys
 from ..md.trajectory import Trajectory
 from .construction import RINBuilder
 from .criteria import DistanceCriterion
@@ -40,9 +54,10 @@ class DynamicRIN:
 
     The edge diff between the current and target contact sets is computed
     on packed int64 edge keys (``u * n + v``) with sorted set differences
+    and applied to a double-buffered CSR snapshot
     (``impl="vectorized"``, default) — Python-level set algebra over tuple
     pairs remains available as ``impl="reference"`` for differential
-    testing. Only the (typically small) diff touches the mutable graph.
+    testing. Only the (typically small) diff is ever materialized.
 
     Examples
     --------
@@ -78,23 +93,46 @@ class DynamicRIN:
         self._frame = int(frame)
         self._cutoff = float(cutoff)
         trajectory.frame(self._frame)  # validates the index
-        self._graph = self._builder.build(self._frame, self._cutoff)
-        self._edge_keys = self._pack(self._graph.edge_array())
-
-    def _pack(self, edges: np.ndarray) -> np.ndarray:
-        """Sorted int64 keys ``u * n + v`` of canonical (u < v) edge pairs."""
-        n = self._graph.number_of_nodes()
-        if len(edges) == 0:
-            return np.empty(0, dtype=np.int64)
-        keys = edges[:, 0].astype(np.int64) * n + edges[:, 1]
-        keys.sort()
-        return keys
+        self._n = trajectory.topology.n_residues
+        self._edge_keys = pack_edge_keys(
+            self._n, self._builder.edges(self._frame, self._cutoff)
+        )
+        self._snapshots = CSRSnapshotBuffer(self._n, self._edge_keys)
+        self._graph = Graph.from_edges(
+            self._n, self._snapshots.current.edge_array()
+        )
+        # Keys the dict-graph view currently reflects (vectorized engine
+        # defers replay until someone asks for the mutable graph).
+        self._synced_keys = self._edge_keys
 
     # ------------------------------------------------------------------
     @property
     def graph(self) -> Graph:
-        """The live RIN graph (mutated in place by the setters)."""
+        """The mutable dict-of-dicts RIN view (synchronized on access).
+
+        Object identity is stable across updates: the widget may keep a
+        handle. Under the vectorized engine the view is synchronized
+        lazily — accessing it after slider moves replays the accumulated
+        net edge diff (the naive per-edge path, deliberately off the
+        interactive fast path; use :attr:`csr` there).
+        """
+        self._sync_graph()
         return self._graph
+
+    @property
+    def csr(self) -> CSRGraph:
+        """The current immutable CSR snapshot (the analytics fast path)."""
+        return self._snapshots.current
+
+    @property
+    def snapshots(self) -> CSRSnapshotBuffer:
+        """The double-buffered snapshot store behind :attr:`csr`."""
+        return self._snapshots
+
+    @property
+    def n_edges(self) -> int:
+        """Edge count of the current state (O(1), no graph sync)."""
+        return len(self._edge_keys)
 
     @property
     def frame(self) -> int:
@@ -121,28 +159,43 @@ class DynamicRIN:
         return self.trajectory.ca_coordinates(self._frame)
 
     # ------------------------------------------------------------------
+    def _sync_graph(self) -> None:
+        """Replay pending key diffs into the mutable dict graph (lazy)."""
+        # Capture once: a worker thread may rebind _edge_keys mid-sync, and
+        # the synced marker must match the keys actually replayed.
+        target = self._edge_keys
+        if self._synced_keys is target:
+            return
+        add = np.setdiff1d(target, self._synced_keys, assume_unique=True)
+        remove = np.setdiff1d(self._synced_keys, target, assume_unique=True)
+        self._graph.update_edges(
+            add=zip(*divmod(add, self._n)) if len(add) else (),
+            remove=zip(*divmod(remove, self._n)) if len(remove) else (),
+        )
+        self._synced_keys = target
+
     def _apply_target(self, target_edges: np.ndarray) -> EdgeUpdate:
         """Diff the current edge set against ``target_edges`` and apply."""
         if self._impl == "reference":
+            # Naive path: set algebra over tuple pairs, per-edge dict
+            # mutation — kept as the differential-testing twin.
             current = self._graph.edge_set()
             target = {(int(u), int(v)) for u, v in target_edges}
             to_add = target - current
             to_remove = current - target
             added, removed = self._graph.update_edges(add=to_add, remove=to_remove)
-            self._edge_keys = self._pack(self._graph.edge_array())
+            self._edge_keys = pack_edge_keys(self._n, self._graph.edge_array())
+            self._synced_keys = self._edge_keys
+            self._snapshots.reset(self._edge_keys)
             return EdgeUpdate(added=added, removed=removed)
-        n = self._graph.number_of_nodes()
-        target_keys = self._pack(np.asarray(target_edges, dtype=np.int64))
-        # Both key arrays are sorted and duplicate-free: the set differences
-        # are two compiled merges, no Python-level pair hashing.
-        add_keys = np.setdiff1d(target_keys, self._edge_keys, assume_unique=True)
-        remove_keys = np.setdiff1d(self._edge_keys, target_keys, assume_unique=True)
-        added, removed = self._graph.update_edges(
-            add=zip(*divmod(add_keys, n)) if len(add_keys) else (),
-            remove=zip(*divmod(remove_keys, n)) if len(remove_keys) else (),
-        )
+        # Fast path: sorted-key set differences (two compiled merges) and
+        # a CSR delta-apply into the double-buffered snapshot. The dict
+        # graph is NOT touched here — it syncs lazily on access.
+        target_keys = pack_edge_keys(self._n, np.asarray(target_edges, dtype=np.int64))
+        delta = self._snapshots.delta_to(target_keys)
+        self._snapshots.apply(delta)
         self._edge_keys = target_keys
-        return EdgeUpdate(added=added, removed=removed)
+        return EdgeUpdate(added=delta.added, removed=delta.removed)
 
     def set_cutoff(self, cutoff: float) -> EdgeUpdate:
         """Move the cut-off slider; returns the applied edge diff."""
@@ -173,5 +226,7 @@ class DynamicRIN:
     def rebuild(self) -> Graph:
         """Rebuild from scratch (reference implementation for testing)."""
         self._graph = self._builder.build(self._frame, self._cutoff)
-        self._edge_keys = self._pack(self._graph.edge_array())
+        self._edge_keys = pack_edge_keys(self._n, self._graph.edge_array())
+        self._synced_keys = self._edge_keys
+        self._snapshots.reset(self._edge_keys)
         return self._graph

@@ -7,10 +7,13 @@ Exactly the seven measures of Figure 6, selectable by name from the GUI's
   Eigenvector Centrality, Katz Centrality (node scores in [0, ∞));
 * PLM Community Detection, PLP Community Detection (block labels).
 
-Every measure maps ``Graph → (n,) float array``; community labels are
-returned as floats so the widget's color mapping code is measure-agnostic.
-Custom measures register via :func:`register_measure` — the paper's
-"easily be customized through simple modifications of Python code".
+Every measure maps a graph — the mutable :class:`~repro.graphkit.graph.Graph`
+or an immutable :class:`~repro.graphkit.csr.CSRGraph` snapshot (what the
+interactive pipeline passes) — to an ``(n,)`` float array; community
+labels are returned as floats so the widget's color mapping code is
+measure-agnostic. Custom measures register via :func:`register_measure` —
+the paper's "easily be customized through simple modifications of Python
+code".
 """
 
 from __future__ import annotations
@@ -49,7 +52,7 @@ class GraphMeasure:
     name:
         Display name (matches the paper's figure legends).
     compute:
-        ``Graph -> (n,) float`` score function.
+        ``Graph | CSRGraph -> (n,) float`` score function.
     kind:
         ``'centrality'`` (continuous) or ``'community'`` (categorical).
     """

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..graphkit import connected_components, core_decomposition, local_clustering
-from ..graphkit.csr import CSRGraph
+from ..graphkit.csr import CSRDelta, CSRSnapshotBuffer, pack_edge_keys
 from ..graphkit.kernels import sorted_contact_order
 from ..md.distances import residue_distance_matrix
 from ..md.topology import Topology
@@ -109,16 +109,28 @@ def _scan_vectorized(
 
     The residue-distance matrix is computed *once* for the whole scan and
     reduced to the distance-sorted contact order; the edge set at cut-off
-    ``c`` is then a prefix of that order, materialized directly as a CSR
-    snapshot (no dict-of-dicts graph on the hot path).
+    ``c`` is then a prefix of that order. Because the scan walks cut-offs
+    in increasing order, consecutive prefixes differ by insertions only,
+    so each snapshot is produced by an add-only
+    :class:`~repro.graphkit.csr.CSRDelta` applied to the snapshot store,
+    whose incrementally maintained arc array makes every step cost one
+    merge sized by the delta — no dict-of-dicts graph and no re-sort of
+    the accumulated edge set per cut-off.
     """
     edges, comps, hub_counts, mean_deg, max_core, mean_clust = arrays
     n_res = topology.n_residues
     dm = residue_distance_matrix(topology, frame, crit.value)
     pairs, sorted_d = sorted_contact_order(dm, min_separation=1)
     prefix = np.searchsorted(sorted_d, cutoffs, side="right")
+    snapshots = CSRSnapshotBuffer(n_res)
+    no_removals = np.empty(0, dtype=np.int64)
+    prev = 0
     for i, m in enumerate(prefix):
-        csr = CSRGraph.from_unique_edge_array(n_res, pairs[:m])
+        delta = CSRDelta(
+            n_res, add_keys=pack_edge_keys(n_res, pairs[prev:m]), remove_keys=no_removals
+        )
+        csr = snapshots.apply(delta)
+        prev = m
         edges[i] = m
         comps[i], _ = connected_components(csr)
         hub_counts[i] = len(hubs(csr))

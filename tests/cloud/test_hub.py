@@ -204,6 +204,30 @@ class TestCloudSession:
         r = session.switch_measure("Degree Centrality")
         assert r.slowdown == pytest.approx(1.0)
 
+    def test_async_slider_burst_coalesces(self, stack):
+        cluster, hub, proxy = stack
+        hub.register_user("mona", "pw")
+        session = CloudSession(
+            hub, proxy, "mona", "pw", protein="2JOF", n_frames=5,
+            async_updates=True, debounce_ms=30,
+        )
+        cluster.clock.advance(30)
+        try:
+            r = session.slider_burst("cutoff", [5.0, 5.5, 6.0, 6.5, 7.0])
+            assert r.action == "cutoff-burst"
+            assert r.server_ms > 0
+            pipeline = session.app.widget.pipeline
+            # The drag coalesced: far fewer solves than slider values.
+            assert pipeline.stats.published < 5
+            assert pipeline.rin.cutoff == 7.0
+        finally:
+            session.close()  # tears down the async worker with the pod
+
+    def test_burst_requires_async_widget(self, stack):
+        session = self.make_session(stack, name="nils")
+        with pytest.raises(TypeError):
+            session.slider_burst("cutoff", [5.0])
+
     def test_pod_must_be_running(self, stack):
         cluster, hub, proxy = stack
         hub.register_user("kate", "pw")

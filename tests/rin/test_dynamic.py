@@ -97,3 +97,70 @@ class TestDynamicRIN:
         rin.set_cutoff(7.5)
         incremental = rin.graph.edge_set()
         assert rin.rebuild().edge_set() == incremental
+
+
+class TestCSRFastPath:
+    """The vectorized engine's hot path is the CSR snapshot, not the dict."""
+
+    def test_csr_matches_reference_build(self, a3d_traj):
+        from repro.rin import build_rin
+
+        rin = DynamicRIN(a3d_traj, frame=0, cutoff=4.5)
+        rin.set_cutoff(7.0)
+        rin.set_frame(5)
+        ref = build_rin(a3d_traj.topology, a3d_traj.frame(5), 7.0)
+        assert rin.csr.edge_set() == ref.edge_set()
+        # and it agrees with the rebuilt-from-scratch CSR arrays exactly
+        full = ref.csr()
+        assert np.array_equal(rin.csr.indptr, full.indptr)
+        assert np.array_equal(rin.csr.indices, full.indices)
+
+    def test_no_dict_mutation_on_fast_path(self, a3d_traj, monkeypatch):
+        """set_cutoff/set_frame must never touch the dict-of-dicts graph."""
+        from repro.graphkit.graph import Graph
+
+        rin = DynamicRIN(a3d_traj, frame=0, cutoff=4.5)
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - fails the test
+            raise AssertionError("dict-graph mutated on the CSR fast path")
+
+        monkeypatch.setattr(Graph, "add_edge", forbidden)
+        monkeypatch.setattr(Graph, "remove_edge", forbidden)
+        rin.set_cutoff(7.0)
+        rin.set_frame(3)
+        assert rin.csr.m == rin.n_edges  # snapshot advanced regardless
+
+    def test_dict_view_syncs_lazily(self, a3d_traj):
+        rin = DynamicRIN(a3d_traj, frame=0, cutoff=4.5)
+        handle = rin.graph  # force initial sync, keep the handle
+        rin.set_cutoff(8.0)
+        rin.set_frame(2)
+        # Access resynchronizes in place (same object) to the CSR state.
+        assert rin.graph is handle
+        assert rin.graph.edge_set() == rin.csr.edge_set()
+        assert rin.graph.number_of_edges() == rin.n_edges
+
+    def test_reference_engine_keeps_naive_path(self, a3d_traj):
+        rin = DynamicRIN(a3d_traj, frame=0, cutoff=4.5, impl="reference")
+        rin.set_cutoff(7.0)
+        # Reference engine syncs eagerly and mirrors into the snapshot.
+        assert rin.graph.edge_set() == rin.csr.edge_set()
+
+    def test_double_buffer_previous_snapshot_survives(self, a3d_traj):
+        rin = DynamicRIN(a3d_traj, frame=0, cutoff=4.5)
+        before = rin.csr
+        edges_before = before.edge_set()
+        rin.set_cutoff(9.0)
+        assert rin.snapshots.previous is before
+        assert before.edge_set() == edges_before  # immutable under updates
+
+    def test_engines_agree_over_session(self, a3d_traj):
+        fast = DynamicRIN(a3d_traj, frame=0, cutoff=5.0)
+        ref = DynamicRIN(a3d_traj, frame=0, cutoff=5.0, impl="reference")
+        for action in [("cutoff", 7.5), ("frame", 4), ("cutoff", 4.0), ("frame", 9)]:
+            kind, value = action
+            a = fast.set_cutoff(value) if kind == "cutoff" else fast.set_frame(value)
+            b = ref.set_cutoff(value) if kind == "cutoff" else ref.set_frame(value)
+            assert (a.added, a.removed) == (b.added, b.removed)
+        assert fast.graph.edge_set() == ref.graph.edge_set()
+        assert fast.csr.edge_set() == ref.csr.edge_set()
