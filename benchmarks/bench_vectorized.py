@@ -4,7 +4,12 @@ Times every hot path that gained a CSR-kernel engine against its
 ``impl="reference"`` naive twin on the paper's benchmark RINs:
 
 * Fig. 6 (measure switch): closeness / harmonic / betweenness / pagerank
-  on the high-cut-off RIN of each protein;
+  on the high-cut-off RIN of each protein; plus the shortest-path kernel
+  suite — ``betweenness_batched`` (batched SpMM Brandes vs the
+  superseded ``impl="persource"`` level-vectorized sweep) and
+  ``weighted_closeness`` / ``weighted_betweenness`` (multi-source
+  delta-stepping vs the per-source heap-Dijkstra reference) on a
+  contact-distance-weighted RIN;
 * Fig. 7 (cut-off switch): the full cut-off scan and the DynamicRIN
   cut-off diff sequence;
 * Fig. 8 (frame switch): the DynamicRIN frame-sweep diff loop and the
@@ -31,6 +36,7 @@ from pathlib import Path
 
 from repro.bench import PAPER_HIGH_CUTOFF, PAPER_PROTEINS, protein_trajectory
 from repro.core import AsyncUpdatePipeline, UpdatePipeline
+from repro.graphkit import Graph
 from repro.graphkit.centrality import (
     Betweenness,
     Closeness,
@@ -38,6 +44,7 @@ from repro.graphkit.centrality import (
     PageRank,
 )
 from repro.graphkit.layout import maxent_stress_layout
+from repro.md.distances import residue_distance_matrix
 from repro.rin import DynamicRIN, build_rin, cutoff_scan
 
 # The widget's cut-off slider range; the scan uses the §IV-style 0.5 Å
@@ -100,6 +107,42 @@ def main() -> int:
         record(
             f"fig6_pagerank_{protein}",
             lambda impl: PageRank(g_high, tol=1e-10, impl=impl).run(),
+        )
+
+        # Shortest-path kernel suite. betweenness_batched measures the
+        # batched SpMM Brandes kernel against the superseded per-source
+        # level-vectorized sweep (the previous fast path, kept as
+        # impl="persource") — the acceptance gate for the batching.
+        record(
+            f"fig6_betweenness_batched_{protein}",
+            lambda impl: Betweenness(
+                g_high,
+                normalized=True,
+                impl="persource" if impl == "reference" else impl,
+            ).run(),
+        )
+
+        # Weighted kernels on a contact-distance-weighted RIN: batched
+        # delta-stepping vs the per-source heap-Dijkstra reference.
+        dm = residue_distance_matrix(topo, frame0, "min")
+        g_weighted = Graph.from_weighted_edges(
+            g_high.number_of_nodes(),
+            [
+                (int(u), int(v), float(dm[u, v]))
+                for u, v in g_high.csr().edge_array()
+            ],
+        )
+        record(
+            f"fig6_weighted_closeness_{protein}",
+            lambda impl: Closeness(
+                g_weighted, weighted=True, normalized=True, impl=impl
+            ).run(),
+        )
+        record(
+            f"fig6_weighted_betweenness_{protein}",
+            lambda impl: Betweenness(
+                g_weighted, weighted=True, normalized=True, impl=impl
+            ).run(),
         )
 
         # Fig. 7 — the cut-off scan (the §IV topology sweep).

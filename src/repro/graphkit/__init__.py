@@ -19,7 +19,16 @@ from . import centrality, community, generators, io, kernels, layout
 from .components import ConnectedComponents, connected_components, largest_component
 from .coreness import CoreDecomposition, core_decomposition, local_clustering
 from .csr import CSRDelta, CSRGraph, CSRSnapshotBuffer, pack_edge_keys
-from .distance import APSP, BFS, Diameter, all_pairs_distances, bfs_distances, dijkstra
+from .distance import (
+    APSP,
+    BFS,
+    Diameter,
+    all_pairs_distances,
+    bfs_distances,
+    dijkstra,
+    multi_source_bfs,
+    multi_source_dijkstra,
+)
 from .graph import Graph
 from .parallel import get_num_threads, set_num_threads
 
@@ -46,6 +55,8 @@ __all__ = [
     "Diameter",
     "bfs_distances",
     "dijkstra",
+    "multi_source_bfs",
+    "multi_source_dijkstra",
     "all_pairs_distances",
     "set_num_threads",
     "get_num_threads",

@@ -1,10 +1,15 @@
 """Centrality measures (NetworKit ``centrality`` module analog).
 
-Every exact measure accepts ``impl="vectorized"`` (CSR kernel engine,
-default) or ``impl="reference"`` (naive scalar engine, for differential
-testing). Sampling approximations (EstimateBetweenness, ApproxCloseness)
-have no scalar twin and raise ``NotImplementedError`` on
-``impl="reference"`` rather than silently running the fast engine.
+Every exact measure accepts ``impl="vectorized"`` (batched CSR kernel
+engine, default) or ``impl="reference"`` (naive scalar engine, for
+differential testing); ``Betweenness`` additionally keeps the superseded
+per-source sweep as ``impl="persource"``. Shortest-path measures take
+``weighted=True`` to read edge weights as distances (SpMM BFS swaps for
+multi-source delta-stepping). Sampling approximations
+(EstimateBetweenness, ApproxCloseness) have no scalar twin and raise
+``NotImplementedError`` on ``impl="reference"`` rather than silently
+running the fast engine. See ``docs/KERNELS.md`` for the kernel block
+math and the full selection rules.
 """
 
 from . import reference

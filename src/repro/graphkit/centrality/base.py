@@ -35,9 +35,18 @@ class Centrality:
     must agree within float tolerance — the differential test suite
     enforces it — so the reference path doubles as executable
     documentation of each measure's semantics.
+
+    A subclass may keep *additional* engines (e.g. a superseded fast path
+    retained for benchmarking) by listing their names in ``extra_impls``
+    and implementing ``_compute_<name>``; ``docs/KERNELS.md`` documents
+    the selection rules.
     """
 
     name: str = "centrality"
+
+    #: Engine names accepted beyond the shared ("vectorized", "reference")
+    #: pair; each must have a matching ``_compute_<name>`` method.
+    extra_impls: tuple[str, ...] = ()
 
     def __init__(
         self,
@@ -46,8 +55,9 @@ class Centrality:
         normalized: bool = False,
         impl: str = "vectorized",
     ):
-        if impl not in IMPLEMENTATIONS:
-            raise ValueError(f"impl must be one of {IMPLEMENTATIONS}, got {impl!r}")
+        allowed = IMPLEMENTATIONS + type(self).extra_impls
+        if impl not in allowed:
+            raise ValueError(f"impl must be one of {allowed}, got {impl!r}")
         self._graph = g
         self._normalized = bool(normalized)
         self._impl = impl
@@ -92,9 +102,12 @@ class Centrality:
     def run(self) -> "Centrality":
         """Compute (and cache) the score vector."""
         csr = self._csr()
-        compute = (
-            self._compute_reference if self._impl == "reference" else self._compute
-        )
+        if self._impl == "reference":
+            compute = self._compute_reference
+        elif self._impl == "vectorized":
+            compute = self._compute
+        else:
+            compute = getattr(self, f"_compute_{self._impl}")
         scores = np.asarray(compute(csr), dtype=np.float64)
         if scores.shape != (csr.n,):
             raise AssertionError(

@@ -1,14 +1,23 @@
-"""Betweenness centrality — Brandes' algorithm + sampling approximation.
+"""Betweenness centrality — batched Brandes + sampling approximation.
 
-The exact variant runs one Brandes dependency accumulation per source; the
-per-source work is decomposed over a static chunking of the sources
-(:func:`~repro.graphkit.parallel.parallel_for_chunks`), mirroring
-NetworKit's OpenMP loop. Each source performs a level-synchronous BFS with
-vectorized frontier expansion and a vectorized backward sweep over levels.
+The default engine batches *sources*: sigma/delta accumulation runs as
+dense ``(sources, nodes)`` matrix ops per BFS level
+(:func:`~repro.graphkit.kernels.batched_brandes_dependencies`), processing
+sources in memory-bounded blocks distributed over worker threads — one
+SpMM per level for a whole block rather than one sweep per source. With
+``weighted=True`` distances come from the multi-source delta-stepping
+kernel and dependencies accumulate in distance rank order
+(:func:`~repro.graphkit.kernels.batched_weighted_dependencies`).
+
+Two slower engines remain selectable for benchmarking and differential
+testing: ``impl="persource"`` is the superseded level-vectorized
+one-sweep-per-source loop (unweighted only), ``impl="reference"`` the
+textbook scalar Brandes. ``docs/KERNELS.md`` documents the block math and
+the selection rules.
 
 :class:`EstimateBetweenness` implements the classic source-sampling
-estimator (Brandes & Pich): the same kernel from ``nsamples`` random pivots,
-scaled by ``n / nsamples``.
+estimator (Brandes & Pich): the batched kernel over ``nsamples`` random
+pivots, scaled by ``n / nsamples``.
 """
 
 from __future__ import annotations
@@ -16,7 +25,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..csr import CSRGraph
-from ..kernels import expand_arcs
+from ..kernels import (
+    batched_brandes_dependencies,
+    batched_weighted_dependencies,
+    expand_arcs,
+)
 from ..parallel import parallel_for_chunks
 from . import reference
 from .base import Centrality
@@ -29,10 +42,11 @@ def _brandes_source(
 ) -> None:
     """Accumulate Brandes dependencies of source ``s`` into ``dependency``.
 
-    Unweighted shortest paths; both sweeps run on whole BFS levels via the
-    shared :func:`~repro.graphkit.kernels.expand_arcs` gather — path counts
-    and partial dependencies move along level arcs with bincount
-    scatter-adds, never one node at a time.
+    The superseded per-source engine (``impl="persource"``): unweighted
+    shortest paths, one level-vectorized forward/backward sweep per
+    source via the shared :func:`~repro.graphkit.kernels.expand_arcs`
+    gather. Kept as the benchmark baseline the batched kernel is measured
+    against.
     """
     n = csr.n
     dist = np.full(n, -1, dtype=np.int64)
@@ -84,7 +98,7 @@ def _brandes_source(
 
 
 class Betweenness(Centrality):
-    """Exact betweenness centrality (Brandes 2001), unweighted paths.
+    """Exact betweenness centrality (Brandes 2001).
 
     Parameters
     ----------
@@ -92,42 +106,83 @@ class Betweenness(Centrality):
         The graph (undirected; each pair counted once).
     normalized:
         Scale scores by ``2 / ((n-1)(n-2))``.
+    weighted:
+        Use edge weights as distances (strictly positive weights
+        required). The vectorized engine then runs delta-stepping +
+        rank-ordered accumulation; ``impl="persource"`` is unavailable.
     threads:
-        Worker threads for the per-source loop (default: all).
+        Worker threads distributing the source blocks (default: all).
+    impl:
+        ``"vectorized"`` (batched Brandes, default), ``"persource"``
+        (superseded per-source level sweep, unweighted only) or
+        ``"reference"`` (textbook scalar Brandes).
     """
 
     name = "betweenness"
+    extra_impls = ("persource",)
 
     def __init__(
         self,
         g,
         *,
         normalized: bool = False,
+        weighted: bool = False,
         threads: int | None = None,
         impl: str = "vectorized",
     ):
         super().__init__(g, normalized=normalized, impl=impl)
+        self._weighted = bool(weighted)
         self._threads = threads
+        if self._weighted and impl == "persource":
+            raise ValueError(
+                "impl='persource' is the superseded unweighted sweep; "
+                "weighted betweenness has only 'vectorized' and 'reference'"
+            )
 
-    def _compute_reference(self, csr: CSRGraph) -> np.ndarray:
+    def _check_undirected(self, csr: CSRGraph) -> None:
         if csr.directed:
             raise NotImplementedError(
                 "Betweenness is implemented for undirected graphs (RINs)"
             )
+
+    def _compute_reference(self, csr: CSRGraph) -> np.ndarray:
+        self._check_undirected(csr)
+        if self._weighted:
+            return reference.weighted_betweenness_scores(csr)
         return reference.betweenness_scores(csr)
 
     def _compute(self, csr: CSRGraph) -> np.ndarray:
-        if csr.directed:
-            raise NotImplementedError(
-                "Betweenness is implemented for undirected graphs (RINs)"
-            )
+        self._check_undirected(csr)
         n = csr.n
+        kernel = (
+            batched_weighted_dependencies
+            if self._weighted
+            else batched_brandes_dependencies
+        )
         partials = np.zeros(n, dtype=np.float64)
         lock_free_slots: list[np.ndarray] = []
 
         def run_chunk(start: int, stop: int) -> None:
             # Per-chunk private accumulator (OpenMP reduction idiom) —
-            # avoids write races between chunks.
+            # avoids write races between chunks; the kernel blocks the
+            # chunk's sources internally to bound dense memory.
+            if stop <= start:
+                return
+            lock_free_slots.append(kernel(csr, np.arange(start, stop)))
+
+        parallel_for_chunks(run_chunk, n, threads=self._threads)
+        for local in lock_free_slots:
+            partials += local
+        partials /= 2.0  # each unordered pair contributed twice
+        return partials
+
+    def _compute_persource(self, csr: CSRGraph) -> np.ndarray:
+        self._check_undirected(csr)
+        n = csr.n
+        partials = np.zeros(n, dtype=np.float64)
+        lock_free_slots: list[np.ndarray] = []
+
+        def run_chunk(start: int, stop: int) -> None:
             local = np.zeros(n, dtype=np.float64)
             for s in range(start, stop):
                 _brandes_source(csr, s, local)
@@ -136,8 +191,7 @@ class Betweenness(Centrality):
         parallel_for_chunks(run_chunk, n, threads=self._threads)
         for local in lock_free_slots:
             partials += local
-        if not csr.directed:
-            partials /= 2.0  # each unordered pair contributed twice
+        partials /= 2.0
         return partials
 
     def _normalize(self, scores: np.ndarray, csr: CSRGraph) -> np.ndarray:
@@ -151,8 +205,9 @@ class Betweenness(Centrality):
 class EstimateBetweenness(Centrality):
     """Sampled betweenness (Brandes & Pich pivots).
 
-    Runs the Brandes kernel from ``nsamples`` uniformly sampled sources and
-    scales by ``n / nsamples`` — an unbiased estimator of exact scores.
+    Runs the batched Brandes kernel from ``nsamples`` uniformly sampled
+    sources (one multi-source block sweep) and scales by
+    ``n / nsamples`` — an unbiased estimator of exact scores.
 
     Parameters
     ----------
@@ -189,17 +244,14 @@ class EstimateBetweenness(Centrality):
                 "EstimateBetweenness is implemented for undirected graphs"
             )
         n = csr.n
-        scores = np.zeros(n, dtype=np.float64)
         if n == 0:
-            return scores
+            return np.zeros(0)
         rng = np.random.default_rng(self._seed)
         k = min(self._nsamples, n)
         pivots = rng.choice(n, size=k, replace=False)
-        for s in pivots:
-            _brandes_source(csr, int(s), scores)
+        scores = batched_brandes_dependencies(csr, pivots)
         scores *= n / k
-        if not csr.directed:
-            scores /= 2.0
+        scores /= 2.0
         return scores
 
     def _normalize(self, scores: np.ndarray, csr: CSRGraph) -> np.ndarray:

@@ -1,10 +1,15 @@
-"""Closeness and harmonic centrality (exact and sampled).
+"""Closeness and harmonic centrality (exact, weighted and sampled).
 
 Closeness of ``u`` is ``(r_u - 1) / Σ_v d(u, v)`` restricted to the
 ``r_u`` nodes reachable from ``u`` (the Wasserman-Faust / NetworKit
 ``ClosenessVariant.Generalized`` convention, well-defined on disconnected
 RINs at small cut-offs).  Harmonic centrality sums ``1 / d(u, v)`` and
 needs no reachability correction.
+
+Both measures batch their sources: hop distances come from the SpMM BFS
+kernel, weighted distances (``weighted=True``) from the multi-source
+delta-stepping kernel — no per-source queue or heap loop on either path
+(see ``docs/KERNELS.md``).
 """
 
 from __future__ import annotations
@@ -12,7 +17,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..csr import CSRGraph
-from ..kernels import batched_bfs_distances, source_blocks
+from ..kernels import (
+    batched_bfs_distances,
+    batched_delta_stepping_distances,
+    source_blocks,
+)
 from ..parallel import parallel_for_chunks
 from . import reference
 from .base import Centrality
@@ -20,14 +29,27 @@ from .base import Centrality
 __all__ = ["Closeness", "HarmonicCloseness", "ApproxCloseness"]
 
 
+def _block_distances(csr: CSRGraph, lo: int, hi: int, weighted: bool) -> np.ndarray:
+    """Distances of the ``[lo, hi)`` source block as a float matrix with
+    ``np.inf`` for unreachable pairs (uniform across both kernels)."""
+    if weighted:
+        return batched_delta_stepping_distances(csr, np.arange(lo, hi))
+    d = batched_bfs_distances(csr, np.arange(lo, hi)).astype(np.float64)
+    d[d < 0] = np.inf
+    return d
+
+
 class Closeness(Centrality):
-    """Exact closeness centrality via batched multi-source BFS.
+    """Exact closeness centrality via batched multi-source sweeps.
 
     The vectorized engine sweeps blocks of sources with the level-
     synchronous :func:`~repro.graphkit.kernels.batched_bfs_distances`
-    kernel (one sparse-dense product per BFS level for the whole block);
+    kernel — or, with ``weighted=True``, the bucketed
+    :func:`~repro.graphkit.kernels.batched_delta_stepping_distances`
+    kernel — one compiled pass per level/bucket for the whole block;
     blocks are distributed over worker threads. ``impl="reference"`` runs
-    the textbook one-queue-BFS-per-node loop instead.
+    the textbook one-traversal-per-node loop instead (queue BFS, or heap
+    Dijkstra when weighted).
 
     Parameters
     ----------
@@ -37,6 +59,8 @@ class Closeness(Centrality):
         Multiply by ``(r_u - 1) / (n - 1)`` so scores are comparable across
         components (generalized closeness); without it the per-component
         value is returned.
+    weighted:
+        Use edge weights as distances (non-negative weights required).
     threads:
         Worker threads for the per-block loop.
     """
@@ -48,10 +72,12 @@ class Closeness(Centrality):
         g,
         *,
         normalized: bool = True,
+        weighted: bool = False,
         threads: int | None = None,
         impl: str = "vectorized",
     ):
         super().__init__(g, normalized=normalized, impl=impl)
+        self._weighted = bool(weighted)
         self._threads = threads
 
     def _compute(self, csr: CSRGraph) -> np.ndarray:
@@ -61,9 +87,9 @@ class Closeness(Centrality):
 
         def run_chunk(start: int, stop: int) -> None:
             for lo, hi in source_blocks(start, stop, n):
-                d = batched_bfs_distances(csr, np.arange(lo, hi))
-                reached = d > 0
-                total = np.where(reached, d, 0).sum(axis=1).astype(np.float64)
+                d = _block_distances(csr, lo, hi, self._weighted)
+                reached = np.isfinite(d) & (d > 0)
+                total = np.where(reached, d, 0.0).sum(axis=1)
                 r = reached.sum(axis=1) + 1  # including the source itself
                 reach[lo:hi] = r
                 np.divide(r - 1, total, out=raw[lo:hi], where=total > 0)
@@ -73,7 +99,10 @@ class Closeness(Centrality):
         return raw
 
     def _compute_reference(self, csr: CSRGraph) -> np.ndarray:
-        raw, reach = reference.closeness_scores(csr)
+        if self._weighted:
+            raw, reach = reference.weighted_closeness_scores(csr)
+        else:
+            raw, reach = reference.closeness_scores(csr)
         self._reach = reach
         return raw
 
@@ -85,7 +114,11 @@ class Closeness(Centrality):
 
 
 class HarmonicCloseness(Centrality):
-    """Harmonic centrality: ``Σ_{v≠u} 1 / d(u, v)`` (0 for unreachable)."""
+    """Harmonic centrality: ``Σ_{v≠u} 1 / d(u, v)`` (0 for unreachable).
+
+    Batched like :class:`Closeness`; ``weighted=True`` swaps the SpMM BFS
+    kernel for the delta-stepping kernel.
+    """
 
     name = "harmonic"
 
@@ -94,10 +127,12 @@ class HarmonicCloseness(Centrality):
         g,
         *,
         normalized: bool = True,
+        weighted: bool = False,
         threads: int | None = None,
         impl: str = "vectorized",
     ):
         super().__init__(g, normalized=normalized, impl=impl)
+        self._weighted = bool(weighted)
         self._threads = threads
 
     def _compute(self, csr: CSRGraph) -> np.ndarray:
@@ -106,14 +141,17 @@ class HarmonicCloseness(Centrality):
 
         def run_chunk(start: int, stop: int) -> None:
             for lo, hi in source_blocks(start, stop, n):
-                d = batched_bfs_distances(csr, np.arange(lo, hi))
-                inv = np.where(d > 0, 1.0 / np.maximum(d, 1), 0.0)
+                d = _block_distances(csr, lo, hi, self._weighted)
+                positive = np.isfinite(d) & (d > 0)
+                inv = np.where(positive, 1.0 / np.where(positive, d, 1.0), 0.0)
                 raw[lo:hi] = inv.sum(axis=1)
 
         parallel_for_chunks(run_chunk, n, threads=self._threads)
         return raw
 
     def _compute_reference(self, csr: CSRGraph) -> np.ndarray:
+        if self._weighted:
+            return reference.weighted_harmonic_scores(csr)
         return reference.harmonic_scores(csr)
 
     def _normalize(self, scores: np.ndarray, csr: CSRGraph) -> np.ndarray:

@@ -11,17 +11,23 @@ enough to audit by eye.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 
 import numpy as np
 
 from ..csr import CSRGraph
+from ..distance import dijkstra
+from ..kernels import SP_TOL
 
 __all__ = [
     "degree_scores",
     "closeness_scores",
     "harmonic_scores",
     "betweenness_scores",
+    "weighted_closeness_scores",
+    "weighted_harmonic_scores",
+    "weighted_betweenness_scores",
     "pagerank_scores",
     "katz_series_scores",
 ]
@@ -113,6 +119,82 @@ def betweenness_scores(csr: CSRGraph) -> np.ndarray:
                 delta[v] += (sigma[v] / sigma[w]) * (1.0 + delta[w])
             if w != s:
                 dependency[w] += delta[w]
+    return dependency / 2.0
+
+
+def weighted_closeness_scores(csr: CSRGraph) -> tuple[np.ndarray, np.ndarray]:
+    """Generalized *weighted* closeness: ``(raw, reach)``, one heap
+    Dijkstra per node (the scalar twin of the delta-stepping kernel)."""
+    n = csr.n
+    raw = np.zeros(n, dtype=np.float64)
+    reach = np.zeros(n, dtype=np.int64)
+    for s in range(n):
+        d = dijkstra(csr, s)
+        reached = np.isfinite(d) & (d > 0)
+        total = float(d[reached].sum())
+        r = int(reached.sum()) + 1
+        reach[s] = r
+        raw[s] = (r - 1) / total if total > 0 else 0.0
+    return raw, reach
+
+
+def weighted_harmonic_scores(csr: CSRGraph) -> np.ndarray:
+    """Weighted harmonic centrality with one heap Dijkstra per node."""
+    n = csr.n
+    raw = np.zeros(n, dtype=np.float64)
+    for s in range(n):
+        d = dijkstra(csr, s)
+        for x in d:
+            if np.isfinite(x) and x > 0:
+                raw[s] += 1.0 / float(x)
+    return raw
+
+
+def weighted_betweenness_scores(csr: CSRGraph) -> np.ndarray:
+    """Textbook weighted Brandes: Dijkstra settle order + predecessor
+    lists, tight arcs detected with the shared ``SP_TOL`` tolerance
+    (undirected convention: each unordered pair counted once)."""
+    n = csr.n
+    dependency = np.zeros(n, dtype=np.float64)
+    for s in range(n):
+        dist = np.full(n, np.inf)
+        sigma = np.zeros(n, dtype=np.float64)
+        preds: list[list[int]] = [[] for _ in range(n)]
+        dist[s] = 0.0
+        sigma[s] = 1.0
+        done = np.zeros(n, dtype=bool)
+        settle_order: list[int] = []
+        heap = [(0.0, s)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if done[u]:
+                continue
+            done[u] = True
+            settle_order.append(u)
+            for v, w in zip(csr.neighbors(u), csr.neighbor_weights(u)):
+                v = int(v)
+                nd = d + w
+                if not np.isfinite(dist[v]):
+                    dist[v] = nd
+                    sigma[v] = sigma[u]
+                    preds[v] = [u]
+                    heapq.heappush(heap, (nd, v))
+                    continue
+                tol = SP_TOL * max(1.0, dist[v])
+                if nd < dist[v] - tol:
+                    dist[v] = nd
+                    sigma[v] = sigma[u]
+                    preds[v] = [u]
+                    heapq.heappush(heap, (nd, v))
+                elif abs(nd - dist[v]) <= tol and not done[v]:
+                    sigma[v] += sigma[u]
+                    preds[v].append(u)
+        delta = np.zeros(n, dtype=np.float64)
+        for w_node in reversed(settle_order):
+            for v in preds[w_node]:
+                delta[v] += (sigma[v] / sigma[w_node]) * (1.0 + delta[w_node])
+            if w_node != s:
+                dependency[w_node] += delta[w_node]
     return dependency / 2.0
 
 

@@ -6,6 +6,12 @@ shortest paths, eccentricity and diameter (exact and two-sweep estimate).
 The BFS kernel is frontier-based: each level expands all frontier nodes at
 once via CSR gathers, so per-level work is a handful of NumPy calls rather
 than a Python loop over edges — the "vectorize the inner loop" idiom.
+Multi-source queries batch entirely: unweighted APSP runs the SpMM BFS
+kernel, weighted APSP and distance-to-set queries run the multi-source
+delta-stepping kernel (no per-source heap loop; see ``docs/KERNELS.md``).
+:func:`dijkstra` remains the scalar single-source API and doubles as the
+reference twin the batched weighted kernels are differentially tested
+against.
 """
 
 from __future__ import annotations
@@ -16,7 +22,11 @@ import numpy as np
 
 from .csr import CSRGraph
 from .graph import Graph
-from .kernels import batched_bfs_distances
+from .kernels import (
+    batched_bfs_distances,
+    batched_delta_stepping_distances,
+    multi_source_delta_stepping,
+)
 from .parallel import parallel_for_chunks
 
 __all__ = [
@@ -26,6 +36,7 @@ __all__ = [
     "all_pairs_distances",
     "eccentricity",
     "multi_source_bfs",
+    "multi_source_dijkstra",
     "effective_diameter",
     "Diameter",
     "BFS",
@@ -83,7 +94,12 @@ def bfs_tree(g: Graph | CSRGraph, source: int) -> tuple[np.ndarray, np.ndarray]:
 
 
 def dijkstra(g: Graph | CSRGraph, source: int) -> np.ndarray:
-    """Weighted shortest-path distances from ``source`` (inf if unreached)."""
+    """Weighted shortest-path distances from ``source`` (inf if unreached).
+
+    Textbook binary-heap Dijkstra — the scalar reference twin of the
+    batched delta-stepping kernel; multi-source callers (weighted APSP,
+    weighted closeness) use the kernel instead of looping this.
+    """
     csr = _as_csr(g)
     n = csr.n
     if not 0 <= source < n:
@@ -116,7 +132,9 @@ def all_pairs_distances(
 
     Unweighted distances run the batched level-synchronous BFS kernel over
     a static block decomposition of the sources (one sparse-dense product
-    per level per block); weighted distances use per-source Dijkstra.
+    per level per block); weighted distances run the batched multi-source
+    delta-stepping kernel over the same decomposition (one arc-parallel
+    relaxation per bucket phase per block — no per-source heap loop).
     Unreachable pairs are ``inf`` in the returned float matrix.
     """
     csr = _as_csr(g)
@@ -125,8 +143,11 @@ def all_pairs_distances(
 
     if weighted:
         def run_chunk(start: int, stop: int) -> None:
-            for s in range(start, stop):
-                out[s] = dijkstra(csr, s)
+            if stop <= start:
+                return
+            out[start:stop] = batched_delta_stepping_distances(
+                csr, np.arange(start, stop)
+            )
     else:
         def run_chunk(start: int, stop: int) -> None:
             if stop <= start:
@@ -177,6 +198,17 @@ def multi_source_bfs(g: Graph | CSRGraph, sources) -> np.ndarray:
         dist[fresh] = level
         frontier = fresh.astype(np.int64)
     return dist
+
+
+def multi_source_dijkstra(g: Graph | CSRGraph, sources) -> np.ndarray:
+    """Weighted distance to the *nearest* of several sources (inf if
+    unreachable) — the weighted counterpart of :func:`multi_source_bfs`.
+
+    One delta-stepping sweep seeded at every source simultaneously, not a
+    per-source heap loop.
+    """
+    csr = _as_csr(g)
+    return multi_source_delta_stepping(csr, sources)
 
 
 def effective_diameter(

@@ -1,11 +1,17 @@
 """The widget's graph-measure registry (paper Fig. 6 measure switch).
 
-Exactly the seven measures of Figure 6, selectable by name from the GUI's
+The seven measures of Figure 6, selectable by name from the GUI's
 "Graph Measure" slider:
 
 * Betweenness Centrality, Closeness Centrality, Degree Centrality,
   Eigenvector Centrality, Katz Centrality (node scores in [0, ∞));
-* PLM Community Detection, PLP Community Detection (block labels).
+* PLM Community Detection, PLP Community Detection (block labels);
+
+plus two weighted extras (Weighted Betweenness/Closeness Centrality)
+that treat edge weights as distances and run on the batched
+delta-stepping kernels. Every measure routes through the batched kernel
+layer (``docs/KERNELS.md``), so a measure event from the interactive
+pipeline costs block-level matrix sweeps, never per-source Python loops.
 
 Every measure maps a graph — the mutable :class:`~repro.graphkit.graph.Graph`
 or an immutable :class:`~repro.graphkit.csr.CSRGraph` snapshot (what the
@@ -79,6 +85,14 @@ def _closeness(g: Graph) -> np.ndarray:
     return Closeness(g, normalized=True).run().scores_array()
 
 
+def _weighted_betweenness(g: Graph) -> np.ndarray:
+    return Betweenness(g, normalized=True, weighted=True).run().scores_array()
+
+
+def _weighted_closeness(g: Graph) -> np.ndarray:
+    return Closeness(g, normalized=True, weighted=True).run().scores_array()
+
+
 def _degree(g: Graph) -> np.ndarray:
     return DegreeCentrality(g, normalized=True).run().scores_array()
 
@@ -121,6 +135,16 @@ MEASURES: dict[str, GraphMeasure] = {
     ),
     "PLP Community Detection": GraphMeasure(
         "PLP Community Detection", _plp, kind="community"
+    ),
+    # Weighted extras (not in Figure 6): edge weights read as distances,
+    # computed by the batched delta-stepping kernels. On the unit-weight
+    # RINs the paper builds they coincide with the hop measures; weighted
+    # RIN variants feed real contact distances through the same entries.
+    "Weighted Betweenness Centrality": GraphMeasure(
+        "Weighted Betweenness Centrality", _weighted_betweenness
+    ),
+    "Weighted Closeness Centrality": GraphMeasure(
+        "Weighted Closeness Centrality", _weighted_closeness
     ),
 }
 

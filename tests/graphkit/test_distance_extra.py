@@ -1,4 +1,4 @@
-"""Unit tests for multi-source BFS and effective diameter."""
+"""Unit tests for multi-source BFS/Dijkstra and effective diameter."""
 
 import networkx as nx
 import numpy as np
@@ -6,9 +6,12 @@ import pytest
 
 from repro.graphkit import Graph
 from repro.graphkit.distance import (
+    all_pairs_distances,
     bfs_distances,
+    dijkstra,
     effective_diameter,
     multi_source_bfs,
+    multi_source_dijkstra,
 )
 
 
@@ -53,6 +56,63 @@ class TestMultiSourceBFS:
         d = multi_source_bfs(g, [5, 6])  # Trp-cage core residues
         assert d[5] == 0 and d[6] == 0
         assert (d >= 0).all()  # connected at 6 Å
+
+
+class TestMultiSourceDijkstra:
+    def _weighted(self):
+        return Graph.from_weighted_edges(
+            6,
+            [
+                (0, 1, 0.5),
+                (1, 2, 1.5),
+                (2, 3, 0.75),
+                (3, 4, 2.0),
+                (0, 4, 5.5),
+            ],
+        )  # node 5 isolated
+
+    def test_single_source_matches_dijkstra(self):
+        g = self._weighted()
+        assert np.allclose(
+            multi_source_dijkstra(g, [0]), dijkstra(g, 0), equal_nan=True
+        )
+
+    def test_is_minimum_over_sources(self):
+        g = self._weighted()
+        combined = multi_source_dijkstra(g, [0, 3])
+        expected = np.minimum(dijkstra(g, 0), dijkstra(g, 3))
+        assert np.allclose(combined, expected, equal_nan=True)
+
+    def test_unreachable_inf(self):
+        assert np.isinf(multi_source_dijkstra(self._weighted(), [0])[5])
+
+    def test_empty_sources_rejected(self, karate):
+        with pytest.raises(ValueError):
+            multi_source_dijkstra(karate, [])
+
+
+class TestWeightedAPSP:
+    def test_matches_per_source_dijkstra(self):
+        rng = np.random.default_rng(11)
+        base = nx.gnp_random_graph(25, 0.2, seed=4)
+        g = Graph.from_weighted_edges(
+            25,
+            [
+                (u, v, float(rng.uniform(0.2, 2.0)))
+                for u, v in base.edges()
+            ],
+        )
+        mat = all_pairs_distances(g, weighted=True)
+        for s in range(25):
+            assert np.allclose(mat[s], dijkstra(g, s), atol=1e-9)
+
+    def test_serial_equals_parallel_weighted(self):
+        g = Graph.from_weighted_edges(
+            5, [(0, 1, 1.5), (1, 2, 0.5), (2, 3, 2.5), (3, 4, 1.0)]
+        )
+        serial = all_pairs_distances(g, weighted=True, threads=1)
+        parallel = all_pairs_distances(g, weighted=True, threads=4)
+        assert np.array_equal(serial, parallel)
 
 
 class TestEffectiveDiameter:

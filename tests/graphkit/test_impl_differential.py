@@ -3,6 +3,10 @@
 Every hot-path algorithm carries two engines; these tests pin them to each
 other (and transitively to networkx, which the reference engines are
 cross-validated against elsewhere) on canonical fixtures and edge cases.
+The batched shortest-path engines additionally pin three-way (batched vs
+the superseded per-source sweep vs the textbook scalar) and carry a
+chunking-invariance property: the source-block size can never change a
+result.
 """
 
 import numpy as np
@@ -18,9 +22,39 @@ from repro.graphkit.centrality import (
     PageRank,
 )
 from repro.graphkit.generators import erdos_renyi
+from repro.graphkit.kernels import (
+    batched_brandes_dependencies,
+    batched_delta_stepping_distances,
+    batched_weighted_dependencies,
+)
 from repro.graphkit.layout import maxent_stress_layout
 
 SEEDS = [1, 7, 23]
+
+
+def random_weighted(n: int, p: float, seed: int) -> Graph:
+    """Random graph with strictly positive random edge weights."""
+    csr = erdos_renyi(n, p, seed=seed).csr()
+    rng = np.random.default_rng(seed + 1000)
+    edges = csr.edge_array()
+    weights = rng.uniform(0.2, 3.0, size=len(edges))
+    return Graph.from_weighted_edges(
+        n, [(int(u), int(v), float(w)) for (u, v), w in zip(edges, weights)]
+    )
+
+
+def weighted_disconnected() -> Graph:
+    """Two weighted components + an isolated node (multigraph-free)."""
+    return Graph.from_weighted_edges(
+        7,
+        [
+            (0, 1, 0.5),
+            (1, 2, 1.5),
+            (0, 2, 1.9),  # near-tie with the 0-1-2 path (length 2.0)
+            (4, 5, 2.5),
+            (5, 6, 0.25),
+        ],
+    )  # node 3 isolated
 
 CENTRALITY_FACTORIES = [
     pytest.param(lambda g, impl: DegreeCentrality(g, impl=impl), id="degree"),
@@ -105,6 +139,155 @@ class TestCentralityDifferential:
         ):
             fast, slow = both_impls(factory, g)
             assert np.allclose(fast, slow, atol=1e-8)
+
+
+WEIGHTED_FACTORIES = [
+    pytest.param(
+        lambda g, impl: Closeness(g, weighted=True, normalized=True, impl=impl),
+        id="weighted-closeness",
+    ),
+    pytest.param(
+        lambda g, impl: HarmonicCloseness(
+            g, weighted=True, normalized=False, impl=impl
+        ),
+        id="weighted-harmonic",
+    ),
+    pytest.param(
+        lambda g, impl: Betweenness(g, weighted=True, impl=impl),
+        id="weighted-betweenness",
+    ),
+]
+
+
+class TestWeightedDifferential:
+    """Delta-stepping engines vs per-source heap-Dijkstra references."""
+
+    @pytest.mark.parametrize("factory", WEIGHTED_FACTORIES)
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_weighted_graphs(self, factory, seed):
+        g = random_weighted(45, 0.1, seed)
+        fast, slow = both_impls(factory, g)
+        assert np.allclose(fast, slow, atol=1e-8)
+
+    @pytest.mark.parametrize("factory", WEIGHTED_FACTORIES)
+    def test_weighted_disconnected(self, factory):
+        fast, slow = both_impls(factory, weighted_disconnected())
+        assert np.allclose(fast, slow, atol=1e-10)
+
+    @pytest.mark.parametrize("factory", WEIGHTED_FACTORIES)
+    def test_unit_weights_match_hop_engines(self, factory):
+        # With all weights 1.0 the weighted engines must agree with each
+        # other (and, transitively, with the hop-based measures).
+        g = erdos_renyi(30, 0.15, seed=3)
+        fast, slow = both_impls(factory, g)
+        assert np.allclose(fast, slow, atol=1e-8)
+
+    @pytest.mark.parametrize("factory", WEIGHTED_FACTORIES)
+    def test_equal_weight_ties(self, factory):
+        # A 6-cycle with equal weights: every antipodal pair has two
+        # shortest paths — exercises tie counting in sigma.
+        ring = Graph.from_weighted_edges(
+            6, [(i, (i + 1) % 6, 0.7) for i in range(6)]
+        )
+        fast, slow = both_impls(factory, ring)
+        assert np.allclose(fast, slow, atol=1e-10)
+
+    @pytest.mark.parametrize("factory", WEIGHTED_FACTORIES)
+    def test_empty_and_edgeless(self, factory):
+        fast, slow = both_impls(factory, Graph(0))
+        assert fast.shape == (0,) and slow.shape == (0,)
+        fast, slow = both_impls(factory, Graph(4))
+        assert np.allclose(fast, slow)
+
+    def test_weighted_path_hand_checked(self):
+        # 0 -1.0- 1 -2.0- 2: betweenness of the middle node is exactly 1.
+        g = Graph.from_weighted_edges(3, [(0, 1, 1.0), (1, 2, 2.0)])
+        scores = Betweenness(g, weighted=True).run().scores_array()
+        assert np.allclose(scores, [0.0, 1.0, 0.0])
+        clo = Closeness(g, weighted=True, normalized=False).run().scores_array()
+        assert np.allclose(clo, [2 / 4.0, 2 / 3.0, 2 / 5.0])
+
+    def test_weights_change_the_ranking(self):
+        # A heavy shortcut edge must reroute shortest paths; the weighted
+        # engines cannot silently fall back to hop distances.
+        g = Graph.from_weighted_edges(
+            4, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (0, 3, 10.0)]
+        )
+        hop = Betweenness(g).run().scores_array()
+        weighted = Betweenness(g, weighted=True).run().scores_array()
+        assert not np.allclose(hop, weighted)
+        assert weighted[1] > hop[1]  # 0-3 traffic reroutes via 1 and 2
+
+    def test_negative_weights_rejected(self):
+        g = Graph.from_weighted_edges(3, [(0, 1, -1.0), (1, 2, 2.0)])
+        with pytest.raises(ValueError):
+            Closeness(g, weighted=True).run()
+
+    def test_weighted_persource_rejected(self, karate):
+        with pytest.raises(ValueError):
+            Betweenness(karate, weighted=True, impl="persource")
+
+
+class TestBetweennessEngineTriangle:
+    """Batched SpMM Brandes vs per-source sweep vs textbook scalar."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_three_way_agreement(self, seed):
+        g = erdos_renyi(45, 0.1, seed=seed)
+        batched = Betweenness(g).run().scores_array()
+        persource = Betweenness(g, impl="persource").run().scores_array()
+        ref = Betweenness(g, impl="reference").run().scores_array()
+        assert np.allclose(batched, persource, atol=1e-8)
+        assert np.allclose(batched, ref, atol=1e-8)
+
+    def test_fixtures(self, karate, disconnected, star5):
+        for g in (karate, disconnected, star5):
+            batched = Betweenness(g).run().scores_array()
+            persource = Betweenness(g, impl="persource").run().scores_array()
+            assert np.allclose(batched, persource, atol=1e-10)
+
+
+class TestBlockSizeInvariance:
+    """Property: the source-block (chunk) size never changes results."""
+
+    CHUNKS = [1, 3, 7, 1000]
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_batched_brandes(self, seed):
+        csr = erdos_renyi(40, 0.12, seed=seed).csr()
+        sources = np.arange(csr.n)
+        base = batched_brandes_dependencies(csr, sources)
+        for chunk in self.CHUNKS:
+            out = batched_brandes_dependencies(csr, sources, chunk_size=chunk)
+            assert np.allclose(base, out, atol=1e-12)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_delta_stepping(self, seed):
+        csr = random_weighted(40, 0.12, seed).csr()
+        sources = np.arange(csr.n)
+        base = batched_delta_stepping_distances(csr, sources)
+        for chunk in self.CHUNKS:
+            out = batched_delta_stepping_distances(
+                csr, sources, chunk_size=chunk
+            )
+            assert np.array_equal(base, out)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_weighted_brandes(self, seed):
+        csr = random_weighted(40, 0.12, seed).csr()
+        sources = np.arange(csr.n)
+        base = batched_weighted_dependencies(csr, sources)
+        for chunk in self.CHUNKS:
+            out = batched_weighted_dependencies(csr, sources, chunk_size=chunk)
+            assert np.allclose(base, out, atol=1e-12)
+
+    def test_thread_count_invariance(self, karate):
+        # Thread-level chunking composes with kernel-level blocking; the
+        # combination must stay invariant too.
+        base = Betweenness(karate, threads=1).run().scores_array()
+        for threads in (2, 5):
+            out = Betweenness(karate, threads=threads).run().scores_array()
+            assert np.allclose(base, out, atol=1e-12)
 
 
 class TestCorenessDifferential:

@@ -8,8 +8,12 @@ from repro.graphkit.csr import CSRGraph
 from repro.graphkit.generators import erdos_renyi
 from repro.graphkit.kernels import (
     batched_bfs_distances,
+    batched_brandes_dependencies,
+    batched_delta_stepping_distances,
+    batched_weighted_dependencies,
     core_numbers,
     expand_arcs,
+    multi_source_delta_stepping,
     pairwise_distances,
     segment_sum,
     sorted_contact_order,
@@ -176,6 +180,102 @@ class TestFromUniqueEdgeArray:
         csr = CSRGraph.from_unique_edge_array(5, np.empty((0, 2), dtype=np.int64))
         assert csr.n == 5 and csr.nnz == 0
         assert csr.degrees().tolist() == [0] * 5
+
+
+def _weighted_csr(seed: int, n: int = 35, p: float = 0.12) -> CSRGraph:
+    csr = erdos_renyi(n, p, seed=seed).csr()
+    rng = np.random.default_rng(seed + 500)
+    edges = csr.edge_array()
+    weights = rng.uniform(0.3, 2.5, size=len(edges))
+    return Graph.from_weighted_edges(
+        n, [(int(u), int(v), float(w)) for (u, v), w in zip(edges, weights)]
+    ).csr()
+
+
+class TestBatchedBrandes:
+    @pytest.mark.parametrize("seed", [2, 8])
+    def test_subset_equals_sum_of_singletons(self, seed):
+        csr = _random_csr(seed)
+        sources = np.asarray([0, 5, 11, 17])
+        batched = batched_brandes_dependencies(csr, sources)
+        singles = sum(
+            batched_brandes_dependencies(csr, np.asarray([s])) for s in sources
+        )
+        assert np.allclose(batched, singles, atol=1e-10)
+
+    def test_star_center_dependency(self, star5):
+        # Star: every leaf pair's path runs through the hub; source s at a
+        # leaf contributes (n-2) to the hub's dependency.
+        csr = star5.csr()
+        dep = batched_brandes_dependencies(csr, np.arange(csr.n))
+        n = csr.n
+        assert dep[0] == pytest.approx((n - 1) * (n - 2))
+        assert np.allclose(dep[1:], 0.0)
+
+    def test_empty_sources(self, triangle):
+        out = batched_brandes_dependencies(triangle.csr(), np.empty(0, np.int64))
+        assert np.allclose(out, 0.0)
+
+    def test_out_of_range_source(self, triangle):
+        with pytest.raises(IndexError):
+            batched_brandes_dependencies(triangle.csr(), np.asarray([9]))
+
+
+class TestDeltaStepping:
+    @pytest.mark.parametrize("seed", [2, 8, 21])
+    def test_matches_dijkstra(self, seed):
+        from repro.graphkit.distance import dijkstra
+
+        csr = _weighted_csr(seed)
+        dist = batched_delta_stepping_distances(csr, np.arange(csr.n))
+        for s in range(0, csr.n, 5):
+            assert np.allclose(dist[s], dijkstra(csr, s), atol=1e-9)
+
+    def test_bucket_width_invariance(self):
+        csr = _weighted_csr(4)
+        base = batched_delta_stepping_distances(csr, np.arange(csr.n))
+        for delta in (0.05, 0.9, 7.0, 1e6):
+            out = batched_delta_stepping_distances(
+                csr, np.arange(csr.n), delta=delta
+            )
+            assert np.allclose(base, out, atol=1e-12)
+
+    def test_unit_weights_equal_bfs(self, karate):
+        csr = karate.csr()
+        hops = batched_bfs_distances(csr, np.arange(csr.n)).astype(float)
+        hops[hops < 0] = np.inf
+        dist = batched_delta_stepping_distances(csr, np.arange(csr.n))
+        assert np.array_equal(hops, dist)
+
+    def test_unreachable_is_inf(self, disconnected):
+        dist = batched_delta_stepping_distances(disconnected.csr(), np.asarray([0]))
+        assert dist[0, 2] == np.inf and dist[0, 1] == 1.0
+
+    def test_negative_weight_rejected(self):
+        g = Graph.from_weighted_edges(2, [(0, 1, -0.5)])
+        with pytest.raises(ValueError):
+            batched_delta_stepping_distances(g.csr(), np.asarray([0]))
+
+    def test_multi_source_is_rowwise_min(self):
+        csr = _weighted_csr(6)
+        seeds = [0, 7, 13]
+        per_source = batched_delta_stepping_distances(csr, np.asarray(seeds))
+        joint = multi_source_delta_stepping(csr, seeds)
+        assert np.array_equal(joint, per_source.min(axis=0))
+
+
+class TestBatchedWeightedBrandes:
+    def test_unit_weights_match_unweighted_kernel(self, karate):
+        csr = karate.csr()
+        sources = np.arange(csr.n)
+        hop = batched_brandes_dependencies(csr, sources)
+        weighted = batched_weighted_dependencies(csr, sources)
+        assert np.allclose(hop, weighted, atol=1e-8)
+
+    def test_zero_weight_rejected(self):
+        g = Graph.from_weighted_edges(3, [(0, 1, 0.0), (1, 2, 1.0)])
+        with pytest.raises(ValueError):
+            batched_weighted_dependencies(g.csr(), np.asarray([0]))
 
 
 class TestCoreNumbers:
