@@ -11,7 +11,13 @@ Times every hot path that gained a CSR-kernel engine against its
   delta-stepping vs the per-source heap-Dijkstra reference) on a
   contact-distance-weighted RIN;
 * Fig. 7 (cut-off switch): the full cut-off scan and the DynamicRIN
-  cut-off diff sequence;
+  cut-off diff sequence; plus the sharded scanning engine —
+  ``multiframe_scan`` times the multi-frame trajectory scan on a warm
+  ``workers=8`` process pool (shared-memory coordinate block, incremental
+  union-find along sorted-contact prefixes) against the serial naive
+  sweep that rebuilds the RIN per cut-off per frame, and ``dynrin_scan``
+  times the widget's mid-session scan view (``DynamicRIN.scan`` on the
+  warm distance-matrix cache) against the same naive sweep;
 * Fig. 8 (frame switch): the DynamicRIN frame-sweep diff loop and the
   Maxent-Stress layout (k=3, the paper's Listing 1 parameters);
 * interactive latency: a burst of rapid cut-off slider events replayed
@@ -44,13 +50,18 @@ from repro.graphkit.centrality import (
     PageRank,
 )
 from repro.graphkit.layout import maxent_stress_layout
+from repro.graphkit.parallel import ShardedExecutor
 from repro.md.distances import residue_distance_matrix
-from repro.rin import DynamicRIN, build_rin, cutoff_scan
+from repro.rin import DynamicRIN, build_rin, cutoff_scan, trajectory_cutoff_scan
 
 # The widget's cut-off slider range; the scan uses the §IV-style 0.5 Å
 # grid (criterion_comparison's own default resolution).
 SWITCH_CUTOFFS = [3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
 SCAN_CUTOFFS = [3.0 + 0.5 * i for i in range(15)]
+#: Frames of the multi-frame scanning scenarios (the Fig. 8 time axis).
+SCAN_FRAMES = list(range(12))
+#: Pool width of the sharded-scan scenarios (the acceptance-gate knob).
+SCAN_WORKERS = 8
 
 
 def best_ms(fn, *, repeats: int = 3, warmup: int = 1) -> float:
@@ -150,6 +161,44 @@ def main() -> int:
             f"fig7_cutoff_scan_{protein}",
             lambda impl: cutoff_scan(topo, frame0, SCAN_CUTOFFS, impl=impl),
         )
+
+        # Fig. 7 × Fig. 8 — the multi-frame scan on the sharded engine.
+        # 'reference' is the serial naive sweep (rebuild the RIN per
+        # cut-off, per frame); 'vectorized' fans the frames across a warm
+        # workers=8 process pool: the trajectory coordinate block lives in
+        # shared memory, each worker walks sorted-contact prefixes with an
+        # incremental union-find. The pool is created once per protein
+        # (service steady state); the warmup call primes its forks.
+        scan_pool = ShardedExecutor(workers=SCAN_WORKERS)
+
+        def multiframe_scan(impl):
+            if impl == "reference":
+                for f in SCAN_FRAMES:
+                    cutoff_scan(topo, traj.frame(f), SCAN_CUTOFFS, impl=impl)
+            else:
+                trajectory_cutoff_scan(
+                    traj, SCAN_CUTOFFS, frames=SCAN_FRAMES, executor=scan_pool
+                )
+
+        record(f"fig7_multiframe_scan_{protein}", multiframe_scan)
+
+        # Fig. 7 — the widget's scan view: a cut-off sweep issued mid-
+        # session, where DynamicRIN.scan reuses the builder's cached
+        # distance matrix and walks sorted-contact prefixes with the
+        # incremental union-find. 'reference' is the naive sweep the
+        # widget would otherwise run (rebuild per cut-off, fresh distance
+        # matrix each time).
+        warm_rin = DynamicRIN(traj, frame=0, cutoff=4.5)
+        warm_rin.scan([4.0])  # primes the distance-matrix cache
+
+        def dynrin_scan(impl):
+            if impl == "reference":
+                cutoff_scan(topo, frame0, SCAN_CUTOFFS, impl=impl)
+            else:
+                warm_rin.scan(SCAN_CUTOFFS)
+
+        record(f"fig7_dynrin_scan_{protein}", dynrin_scan)
+        scan_pool.close()
 
         # Fig. 7d — the widget's cut-off diff sequence.
         def cutoff_sequence(impl):

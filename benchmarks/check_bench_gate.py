@@ -1,0 +1,95 @@
+"""Benchmark-regression gate: fail CI when a speedup falls below baseline.
+
+Compares the per-scenario *aggregate speedups* of a fresh
+``bench_vectorized.py`` run against the committed
+``benchmarks/baselines.json``. A scenario regresses when::
+
+    fresh_speedup < baseline_speedup * tolerance
+
+The tolerance factor absorbs runner-to-runner noise (CI machines differ
+from the machines baselines were recorded on); speedup *ratios* are far
+more stable than absolute milliseconds, which is why the gate reads them.
+Scenarios missing from the fresh run fail the gate (a deleted workload
+must update the baselines deliberately); new scenarios not yet in the
+baselines only warn.
+
+Run:  PYTHONPATH=src python benchmarks/check_bench_gate.py \
+          --fresh BENCH_fresh.json [--tolerance 0.7]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BASELINES = Path(__file__).resolve().parent / "baselines.json"
+
+
+def check(
+    fresh: dict, baselines: dict, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Returns (failures, warnings) comparing aggregate speedups."""
+    failures: list[str] = []
+    warnings: list[str] = []
+    aggregates = fresh.get("aggregates", {})
+    for scenario, baseline_speedup in sorted(baselines.items()):
+        agg = aggregates.get(scenario)
+        if agg is None:
+            failures.append(
+                f"{scenario}: missing from the fresh run "
+                f"(baseline {baseline_speedup}x) — update baselines.json "
+                "if the workload was deliberately removed"
+            )
+            continue
+        floor = baseline_speedup * tolerance
+        speedup = float(agg["speedup"])
+        verdict = "ok" if speedup >= floor else "REGRESSED"
+        print(
+            f"{scenario:32s} baseline {baseline_speedup:7.2f}x  "
+            f"floor {floor:7.2f}x  fresh {speedup:7.2f}x  {verdict}"
+        )
+        if speedup < floor:
+            failures.append(
+                f"{scenario}: {speedup}x < {floor:.2f}x "
+                f"(baseline {baseline_speedup}x * tolerance {tolerance})"
+            )
+    for scenario in sorted(set(aggregates) - set(baselines)):
+        warnings.append(
+            f"{scenario}: not in baselines.json (new scenario? "
+            "commit its baseline to gate it)"
+        )
+    return failures, warnings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fresh", required=True, help="fresh bench JSON path")
+    parser.add_argument(
+        "--baselines", default=str(DEFAULT_BASELINES), help="committed baselines"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.7,
+        help="fail when fresh < baseline * tolerance (default 0.7)",
+    )
+    args = parser.parse_args()
+
+    fresh = json.loads(Path(args.fresh).read_text())
+    baselines = json.loads(Path(args.baselines).read_text())["aggregate_speedups"]
+    failures, warnings = check(fresh, baselines, args.tolerance)
+    for warning in warnings:
+        print(f"warning: {warning}")
+    if failures:
+        print(f"\nBENCH GATE FAILED ({len(failures)} regression(s)):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(f"\nbench gate passed: {len(baselines)} scenarios within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,6 @@ latency stability as the number of concurrent users grows (until workers
 saturate).
 """
 
-import numpy as np
 import pytest
 
 from repro.bench.figures import run_cloud_stability

@@ -9,7 +9,7 @@ switches (Fig. 8) — and prints the timing decomposition for each event
 Run:  python examples/widget_session.py
 """
 
-from repro.core import EventKind, RINExplorer, SessionScript
+from repro.core import RINExplorer, SessionScript
 from repro.rin import PAPER_MEASURES
 
 

@@ -13,7 +13,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.events import EventKind
 from ..graphkit.layout import maxent_stress_layout
 from ..rin.analysis import community_structure_overlap
 from ..rin.construction import build_rin

@@ -12,7 +12,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable
 
-from .figures import run_cloud_stability, run_fig3, run_fig6, run_fig7, run_fig8
+from .figures import run_cloud_stability, run_fig3, run_fig6, run_fig7
 from .reporting import format_table
 
 __all__ = ["Verdict", "run_verdicts", "VERDICT_CHECKS"]

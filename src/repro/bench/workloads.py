@@ -8,7 +8,6 @@ graphs, and ready-made widget pipelines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from functools import lru_cache
 
 from ..core.client import ClientCostModel

@@ -12,7 +12,7 @@ traffic log for monitoring.
 from __future__ import annotations
 
 import fnmatch
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 from .cluster import Cluster, NodeRole

@@ -61,6 +61,7 @@ class CloudSession:
         seed: int = 7,
         async_updates: bool = False,
         debounce_ms: float = 0.0,
+        engine: str = "thread",
     ):
         self._hub = hub
         self._proxy = proxy
@@ -68,12 +69,16 @@ class CloudSession:
         self.username = username
         self._address = client_address or f"198.51.100.{abs(hash(username)) % 250}"
         self.pod: Pod = hub.login(username, password)
+        # engine="process" gives each session its own solver process — the
+        # pod-level CPU isolation story: a session's layout solves stop
+        # competing for the hub process's GIL.
         self.app = RINExplorer(
             protein,
             n_frames=n_frames,
             seed=seed,
             async_updates=async_updates,
             debounce_ms=debounce_ms,
+            engine=engine,
         )
         self.requests: list[SessionRequest] = []
 

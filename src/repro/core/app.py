@@ -9,8 +9,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from ..md import generate_trajectory, proteins
 from ..md.trajectory import Trajectory
 from .client import ClientCostModel
@@ -71,6 +69,7 @@ class RINExplorer:
         unfold_events: int = 1,
         async_updates: bool = False,
         debounce_ms: float = 0.0,
+        engine: str = "thread",
     ):
         if trajectory is None:
             topo, native = proteins.build(protein)
@@ -89,6 +88,7 @@ class RINExplorer:
             cost_model=cost_model,
             async_updates=async_updates,
             debounce_ms=debounce_ms,
+            engine=engine,
         )
 
     def replay(self, script: SessionScript) -> list[UpdateTiming]:

@@ -35,12 +35,15 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
+from ..graphkit.csr import CSRGraph
 from ..graphkit.layout import maxent_stress_layout
+from ..graphkit.parallel import ShardedExecutor, SharedCancelFlag
 from ..rin.dynamic import DynamicRIN
 from ..rin.measures import GraphMeasure, get_measure
 from ..vizbridge.bridge import graph_traces
@@ -59,6 +62,30 @@ __all__ = [
 
 def _now_ms() -> float:
     return time.perf_counter() * 1e3
+
+
+_ENGINES = ("thread", "process")
+
+
+def _maxent_solve_shard(payload: dict, arrays: dict) -> np.ndarray:
+    """Out-of-process Maxent-Stress solve (module-level: pool-importable).
+
+    Rebuilds the CSR snapshot from the shipped arrays and runs the exact
+    solver the in-process engine runs — same seed, same warm start, same
+    floats. ``cancel`` is a :class:`SharedCancelFlag` (picklable, attaches
+    to the parent's segment) polled at solver-iteration granularity, so a
+    superseded generation stops the solve across the process boundary and
+    returns its partial coordinates for the next warm start.
+    """
+    csr = CSRGraph(payload["indptr"], payload["indices"], payload["weights"])
+    return maxent_stress_layout(
+        csr,
+        dim=payload["dim"],
+        k=payload["k"],
+        seed=payload["seed"],
+        initial=payload["initial"],
+        cancel=payload["cancel"],
+    )
 
 
 class UpdateCancelled(Exception):
@@ -89,6 +116,15 @@ class UpdatePipeline:
         at layout solver-iteration granularity. When it returns True the
         in-flight update raises :class:`UpdateCancelled` *before* any
         figure is mutated. Wired up by :class:`AsyncUpdatePipeline`.
+    engine:
+        ``"thread"`` (default) solves the Maxent-Stress layout on the
+        calling thread; ``"process"`` dispatches each solve to a
+        dedicated worker process (one solve in flight at a time) so
+        concurrent sessions escape the GIL. Cancellation crosses the
+        process boundary through a :class:`SharedCancelFlag` the parent
+        raises whenever ``cancel_check`` fires mid-solve — semantics
+        (partial-coordinate warm starts, figures untouched) are identical
+        to the thread engine. Call :meth:`close` to release the pool.
     """
 
     def __init__(
@@ -100,13 +136,27 @@ class UpdatePipeline:
         layout_seed: int = 42,
         layout_warm_start: bool = True,
         cancel_check: Callable[[], bool] | None = None,
+        engine: str = "thread",
     ):
+        if engine not in _ENGINES:
+            raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
         self._rin = rin
         self._measure: GraphMeasure = get_measure(measure)
         self._client = client or ClientSimulator()
         self._layout_seed = layout_seed
         self._warm_start = layout_warm_start
         self._cancel_check = cancel_check
+        self._engine_kind = engine
+        self._solver_pool: ShardedExecutor | None = None
+        self._solver_flag: SharedCancelFlag | None = None
+        if engine == "process":
+            # One dedicated solver process: solves are serial per session
+            # (the async pipeline coalesces), parallelism comes from many
+            # sessions owning independent pools. start() pins the fork
+            # point to construction time — before the async pipeline's
+            # worker thread (or any session threading) exists.
+            self._solver_pool = ShardedExecutor(workers=1).start()
+            self._solver_flag = self._solver_pool.cancel_flag()
 
         self._maxent_coords: np.ndarray | None = None
         self._scores: np.ndarray | None = None
@@ -151,6 +201,28 @@ class UpdatePipeline:
         """The attached client cost simulator."""
         return self._client
 
+    @property
+    def engine_kind(self) -> str:
+        """Where layout solves run: ``"thread"`` or ``"process"``."""
+        return self._engine_kind
+
+    def close(self) -> None:
+        """Release the solver pool and its shared flag (idempotent).
+
+        No-op for the thread engine; safe to call repeatedly. The context
+        manager form (``with UpdatePipeline(...) as pipe``) does this.
+        """
+        if self._solver_pool is not None:
+            self._solver_pool.close()
+            self._solver_pool = None
+            self._solver_flag = None
+
+    def __enter__(self) -> "UpdatePipeline":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     # ------------------------------------------------------------------
     def _check_cancel(self) -> None:
         if self._cancel_check is not None and self._cancel_check():
@@ -161,6 +233,9 @@ class UpdatePipeline:
         # A cancelled solve returns its partial coordinates: they are kept
         # as the warm start of the next solve (the event that superseded
         # this one starts from an already-relaxed embedding).
+        if self._engine_kind == "process":
+            self._maxent_coords = self._solve_out_of_process(initial)
+            return
         self._maxent_coords = maxent_stress_layout(
             self._rin.csr,
             dim=3,
@@ -169,6 +244,38 @@ class UpdatePipeline:
             initial=initial,
             cancel=self._cancel_check,
         )
+
+    def _solve_out_of_process(self, initial: np.ndarray | None) -> np.ndarray:
+        """Run the layout solve in the worker process, bridging cancellation.
+
+        The parent polls ``cancel_check`` (the async pipeline's generation
+        counter) while the child solves; the first time it fires, the
+        shared flag is raised and the child's next iteration poll sees it,
+        returning partial coordinates — the exact behaviour of an
+        in-process cancelled solve.
+        """
+        assert self._solver_pool is not None and self._solver_flag is not None
+        self._solver_flag.clear()
+        csr = self._rin.csr
+        future = self._solver_pool.submit(
+            _maxent_solve_shard,
+            {
+                "indptr": csr.indptr,
+                "indices": csr.indices,
+                "weights": csr.weights,
+                "dim": 3,
+                "k": 1,
+                "seed": self._layout_seed,
+                "initial": initial,
+                "cancel": self._solver_flag,
+            },
+        )
+        while True:
+            try:
+                return future.result(timeout=0.002)
+            except FuturesTimeoutError:
+                if self._cancel_check is not None and self._cancel_check():
+                    self._solver_flag.set()
 
     def _compute_measure(self) -> None:
         self._scores = self._measure(self._rin.csr)
@@ -384,6 +491,7 @@ class AsyncUpdatePipeline:
         layout_warm_start: bool = True,
         debounce_ms: float = 0.0,
         on_result: Callable[[int, UpdateTiming], None] | None = None,
+        engine: str = "thread",
     ):
         self._lock = threading.Lock()
         self._idle = threading.Event()
@@ -410,6 +518,7 @@ class AsyncUpdatePipeline:
             layout_seed=layout_seed,
             layout_warm_start=layout_warm_start,
             cancel_check=self._is_stale,
+            engine=engine,
         )
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="rin-update"
@@ -580,6 +689,7 @@ class AsyncUpdatePipeline:
             self._closed = True
             err, self._error = self._error, None
         self._executor.shutdown(wait=True)
+        self._engine.close()  # releases the process-engine solver pool
         if raise_errors and err is not None:
             raise err
 

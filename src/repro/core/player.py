@@ -11,7 +11,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from .events import EventKind, UpdateTiming
+from .events import UpdateTiming
 from .pipeline import AsyncUpdatePipeline, UpdatePipeline
 
 __all__ = ["PlaybackReport", "AnimationPlayer"]

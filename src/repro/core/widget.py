@@ -58,6 +58,11 @@ class RINWidget:
         completion callback. Call :meth:`flush` to await quiescence.
     debounce_ms:
         Async-mode debounce window before each solve (coalesces bursts).
+    engine:
+        Where layout solves run: ``"thread"`` (default, in-process) or
+        ``"process"`` (a dedicated worker process per widget, so
+        concurrent cloud sessions escape the GIL; see
+        :class:`UpdatePipeline`). Applies to both sync and async modes.
     """
 
     def __init__(
@@ -73,6 +78,7 @@ class RINWidget:
         auto_recompute: bool = True,
         async_updates: bool = False,
         debounce_ms: float = 0.0,
+        engine: str = "thread",
     ):
         self._trajectory = trajectory
         rin = DynamicRIN(
@@ -89,10 +95,13 @@ class RINWidget:
                     client=client,
                     debounce_ms=debounce_ms,
                     on_result=self._on_async_result,
+                    engine=engine,
                 )
             )
         else:
-            self._pipeline = UpdatePipeline(rin, measure=measure, client=client)
+            self._pipeline = UpdatePipeline(
+                rin, measure=measure, client=client, engine=engine
+            )
 
         # --- controls (Figure 5 bottom row) --------------------------------
         self.frame_slider = IntSlider(
@@ -152,6 +161,8 @@ class RINWidget:
         """
         if isinstance(self._pipeline, AsyncUpdatePipeline):
             self._pipeline.close(raise_errors=raise_errors)
+        else:
+            self._pipeline.close()  # releases a process-engine solver pool
 
     def __enter__(self) -> "RINWidget":
         return self

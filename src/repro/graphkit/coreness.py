@@ -110,10 +110,19 @@ def local_clustering(g: Graph | CSRGraph) -> np.ndarray:
     n = csr.n
     if n == 0:
         return np.zeros(0)
-    adj = csr.to_scipy_pattern()  # unweighted triangles (cached 0/1 matrix)
-    # triangles_u = (A @ A)[u, v] summed over neighbours v of u, / 2.
-    paths2 = (adj @ adj).multiply(adj)
-    triangles = np.asarray(paths2.sum(axis=1)).ravel() / 2.0
+    if n <= 256:
+        # Dense fast path: at RIN scale one BLAS GEMM beats the sparse
+        # product's constructor overhead by an order of magnitude. The
+        # counts are exact small integers either way, so the coefficients
+        # are bit-identical to the sparse path.
+        dense = np.zeros((n, n))
+        dense[csr.arc_tails(), csr.indices] = 1.0
+        triangles = ((dense @ dense) * dense).sum(axis=1) / 2.0
+    else:
+        adj = csr.to_scipy_pattern()  # unweighted triangles (cached 0/1 matrix)
+        # triangles_u = (A @ A)[u, v] summed over neighbours v of u, / 2.
+        paths2 = (adj @ adj).multiply(adj)
+        triangles = np.asarray(paths2.sum(axis=1)).ravel() / 2.0
     degrees = csr.degrees().astype(np.float64)
     possible = degrees * (degrees - 1) / 2.0
     out = np.zeros(n)

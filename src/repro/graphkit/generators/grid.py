@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-
 from ..graph import Graph
 
 __all__ = ["grid_2d", "grid_3d"]

@@ -1,24 +1,42 @@
-"""Shared-memory parallel utilities — the OpenMP stand-in.
+"""Shared-memory parallel utilities — the OpenMP stand-in and the
+process-pool execution subsystem.
 
-NetworKit parallelizes per-source loops (Brandes, closeness BFS sweeps,
-Louvain move phases) with OpenMP ``parallel for``.  In pure Python we expose
-the same decomposition through :func:`parallel_map`: the iteration space is
-split into deterministic contiguous chunks (mirroring OpenMP static
-scheduling and the mpi4py block decomposition from the HPC guides) and the
-chunks are executed on a thread pool.
+Two layers live here:
 
-NumPy kernels release the GIL inside vectorized calls, so thread-level
-parallelism does help the array-heavy per-source kernels; nevertheless the
-default is sized by :func:`effective_threads` and everything degrades
-gracefully to serial execution when only one core is available (or when
-``REPRO_THREADS=1``).
+* **Thread level** (:func:`parallel_map` / :func:`parallel_for_chunks`) —
+  NetworKit parallelizes per-source loops (Brandes, closeness BFS sweeps,
+  Louvain move phases) with OpenMP ``parallel for``. In pure Python we
+  expose the same decomposition: the iteration space is split into
+  deterministic contiguous chunks (mirroring OpenMP static scheduling and
+  the mpi4py block decomposition from the HPC guides) and the chunks are
+  executed on a thread pool. NumPy kernels release the GIL inside
+  vectorized calls, so thread-level parallelism helps the array-heavy
+  per-source kernels.
+
+* **Process level** (:class:`ShardedExecutor`) — the scan and pipeline
+  workloads are Python-loop-bound, so concurrent cloud sessions need to
+  escape the GIL entirely. The executor owns a process pool plus a
+  shared-memory data plane: frozen input arrays (CSR arc arrays,
+  condensed distance matrices, trajectory coordinates) are placed in
+  :mod:`multiprocessing.shared_memory` **once** via :meth:`share
+  <ShardedExecutor.share>`, workers attach zero-copy by segment name, and
+  shard payloads/results travel through the (small) pickle channel.
+  ``workers=0`` is the serial in-process fallback executing the *same*
+  shard functions on the *same* arrays, which is what makes sharded
+  results bit-identical to serial ones. :class:`SharedCancelFlag` is the
+  cross-process analog of the async pipeline's generation counter: one
+  shared byte the parent raises and in-flight workers poll.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Iterable, Sequence, TypeVar
+import weakref
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from multiprocessing import get_context, shared_memory
+from typing import Any, Callable, Sequence, TypeVar
+
+import numpy as np
 
 __all__ = [
     "effective_threads",
@@ -27,6 +45,10 @@ __all__ = [
     "parallel_for_chunks",
     "set_num_threads",
     "get_num_threads",
+    "effective_workers",
+    "SharedDataset",
+    "SharedCancelFlag",
+    "ShardedExecutor",
 ]
 
 T = TypeVar("T")
@@ -129,3 +151,345 @@ def parallel_for_chunks(
         return
     with ThreadPoolExecutor(max_workers=threads) as pool:
         list(pool.map(lambda span: fn(*span), spans))
+
+
+# ----------------------------------------------------------------------
+# process-pool execution subsystem
+# ----------------------------------------------------------------------
+def effective_workers() -> int:
+    """Default process-pool width: ``REPRO_WORKERS`` env var, else cores."""
+    env = os.environ.get("REPRO_WORKERS")
+    if env:
+        try:
+            return max(0, int(env))
+        except ValueError:
+            pass
+    return max(1, os.cpu_count() or 1)
+
+
+# Per-worker-process cache of attached shared-memory segments, keyed by
+# segment name. Attaching is a namespace lookup + mmap; caching it makes
+# repeated shards over the same frozen dataset genuinely zero-copy and
+# keeps the segment mapped for the numpy views handed to shard functions.
+# Bounded FIFO: long-lived pools see a fresh segment per scan, so evict
+# the oldest entries past the cap — dropping the cache reference lets the
+# mapping close once no in-flight shard still holds the view (the numpy
+# view keeps the buffer alive until then; nothing is closed explicitly).
+_ATTACH_CACHE_CAP = 32
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+
+def _attached_view(name: str, shape: tuple, dtype: str) -> np.ndarray:
+    cached = _ATTACHED.get(name)
+    if cached is None:
+        shm = shared_memory.SharedMemory(name=name)
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+        view.flags.writeable = False
+        while len(_ATTACHED) >= _ATTACH_CACHE_CAP:
+            _ATTACHED.pop(next(iter(_ATTACHED)))
+        _ATTACHED[name] = (shm, view)
+        return view
+    return cached[1]
+
+
+class SharedDataset:
+    """Named read-only numpy arrays placed in shared memory once.
+
+    Created by :meth:`ShardedExecutor.share`. The parent keeps the
+    original arrays (serial fallback reads them directly — same memory,
+    same results); worker processes resolve the pickled ``(name, shape,
+    dtype)`` specs to zero-copy views of the same physical pages.
+    """
+
+    __slots__ = ("_arrays", "_segments", "_specs", "_closed", "__weakref__")
+
+    def __init__(self, arrays: dict[str, np.ndarray], *, place: bool = True):
+        self._arrays = {k: np.ascontiguousarray(v) for k, v in arrays.items()}
+        self._segments: list[shared_memory.SharedMemory] = []
+        self._specs: dict[str, tuple[str, tuple, str]] = {}
+        self._closed = False
+        if place:
+            for key, arr in self._arrays.items():
+                seg = shared_memory.SharedMemory(
+                    create=True, size=max(1, arr.nbytes)
+                )
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=seg.buf)
+                view[...] = arr
+                view.flags.writeable = False
+                self._segments.append(seg)
+                self._specs[key] = (seg.name, arr.shape, arr.dtype.str)
+                # Workers read the placed copy; the parent does too, so the
+                # serial fallback and the pool see identical bytes.
+                self._arrays[key] = view
+        weakref.finalize(self, _release_segments, self._segments)
+
+    @property
+    def arrays(self) -> dict[str, np.ndarray]:
+        """The in-process (parent-side) arrays, keyed by name."""
+        return self._arrays
+
+    @property
+    def specs(self) -> dict[str, tuple[str, tuple, str]]:
+        """Picklable ``{key: (segment_name, shape, dtype)}`` resolution map."""
+        return self._specs
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (owner may prune the dataset)."""
+        return self._closed
+
+    def close(self) -> None:
+        """Unlink the shared segments (idempotent)."""
+        self._closed = True
+        self._arrays = {}
+        _release_segments(self._segments)
+        self._segments = []
+
+
+def _release_segments(segments: list[shared_memory.SharedMemory]) -> None:
+    for seg in segments:
+        try:
+            seg.close()
+            seg.unlink()
+        except (FileNotFoundError, OSError):  # already gone
+            pass
+
+
+class SharedCancelFlag:
+    """One shared byte: the cross-process cancellation token.
+
+    The owner (parent) raises/clears it; pickled copies attach to the
+    same segment, so an out-of-process solver can poll it at iteration
+    granularity exactly like an in-process ``cancel_check`` callable —
+    the flag object itself is callable for drop-in use.
+    """
+
+    def __init__(self):
+        self._shm = shared_memory.SharedMemory(create=True, size=1)
+        self._shm.buf[0] = 0
+        self._owner = True
+        self._closed = False
+        weakref.finalize(self, _release_segments, [self._shm])
+
+    # pickling attaches (never re-creates) in the receiving process
+    def __getstate__(self) -> str:
+        return self._shm.name
+
+    def __setstate__(self, name: str) -> None:
+        self._shm = shared_memory.SharedMemory(name=name)
+        self._owner = False
+        self._closed = False
+
+    def set(self) -> None:
+        """Raise the flag (cancel in-flight shards)."""
+        self._shm.buf[0] = 1
+
+    def clear(self) -> None:
+        """Lower the flag before dispatching new work."""
+        self._shm.buf[0] = 0
+
+    def is_set(self) -> bool:
+        """Whether cancellation was requested."""
+        return self._shm.buf[0] != 0
+
+    __call__ = is_set
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (owner may prune the flag)."""
+        return self._closed
+
+    def close(self) -> None:
+        """Release the segment (owner unlinks it)."""
+        self._closed = True
+        if self._owner:
+            _release_segments([self._shm])
+        else:
+            try:
+                self._shm.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+
+def _run_shard(task: tuple) -> Any:
+    """Worker-side trampoline: attach the dataset, run the shard function.
+
+    ``fn`` must be a module-level callable (pickled by reference);
+    it receives ``(payload, arrays)`` where ``arrays`` maps dataset keys
+    to zero-copy views of the shared segments.
+    """
+    fn, payload, specs = task
+    arrays = {
+        key: _attached_view(name, tuple(shape), dtype)
+        for key, (name, shape, dtype) in specs.items()
+    }
+    return fn(payload, arrays)
+
+
+class ShardedExecutor:
+    """Deterministic shard→merge execution over a shared-memory pool.
+
+    Parameters
+    ----------
+    workers:
+        Pool width. ``0`` (default) never spawns processes: shards run
+        serially in-process over the exact same arrays, so results are
+        bit-identical to any ``workers > 0`` run — the correctness anchor
+        every sharded workload is tested against. ``None`` resolves via
+        :func:`effective_workers` (``REPRO_WORKERS`` env var, else cores).
+    start_method:
+        Forced multiprocessing start method; default prefers ``fork``
+        (cheap, inherits the attach cache) and falls back to ``spawn``.
+
+    The **shard→merge contract**: ``run(fn, payloads, dataset)`` executes
+    ``fn(payload, arrays)`` for every payload and returns the results in
+    payload order, regardless of which worker finished first — merging is
+    a deterministic, order-preserving concatenation done by the caller.
+    Shard functions must be pure functions of ``(payload, arrays)``; they
+    must not rely on cross-shard mutable state.
+    """
+
+    def __init__(self, workers: int | None = 0, *, start_method: str | None = None):
+        self._workers = effective_workers() if workers is None else int(workers)
+        if self._workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self._workers}")
+        self._start_method = start_method
+        self._pool: ProcessPoolExecutor | None = None
+        self._datasets: list[SharedDataset] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Configured pool width (0 = serial in-process fallback)."""
+        return self._workers
+
+    @property
+    def serial(self) -> bool:
+        """True when shards run in-process (no pool)."""
+        return self._workers == 0
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            # fork is the cheap default on POSIX (microsecond task setup,
+            # inherited attach cache); spawn is the portable fallback and
+            # the safe choice for heavily-threaded hosts (forking while
+            # other threads hold locks can deadlock the child) — force it
+            # via start_method= or REPRO_START_METHOD=spawn. Call
+            # :meth:`start` early, from the main thread, to pin the fork
+            # point before threads exist.
+            method = (
+                self._start_method
+                or os.environ.get("REPRO_START_METHOD")
+                or ("fork" if os.name == "posix" else "spawn")
+            )
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._workers, mp_context=get_context(method)
+            )
+        return self._pool
+
+    def start(self) -> "ShardedExecutor":
+        """Create the worker pool now instead of on first use.
+
+        Pools default to the cheap ``fork`` start method, and forking is
+        only guaranteed safe while the process is single-threaded — call
+        this from the main thread during setup (the process-engine
+        pipeline does, in its constructor) so the fork point never lands
+        inside a threaded steady state. No-op for serial executors.
+        """
+        if not self.serial and not self._closed:
+            self._ensure_pool()
+        return self
+
+    # ------------------------------------------------------------------
+    def share(self, **arrays: np.ndarray) -> SharedDataset:
+        """Place arrays in shared memory once (workers attach zero-copy).
+
+        Serial executors skip placement entirely — the dataset simply
+        wraps the caller's arrays, keeping ``workers=0`` allocation-free.
+        The executor owns the dataset's lifetime: :meth:`close` unlinks
+        every segment shared through it.
+        """
+        ds = SharedDataset(arrays, place=not self.serial)
+        self._track(ds)
+        return ds
+
+    def cancel_flag(self) -> SharedCancelFlag:
+        """A cancellation token workers can poll (owner: this executor)."""
+        flag = SharedCancelFlag()
+        self._track(flag)  # type: ignore[arg-type] # close()/closed duck-type
+        return flag
+
+    def _track(self, resource) -> None:
+        # Prune resources the caller already closed so a warm executor
+        # reused across thousands of scans keeps a bounded ledger.
+        self._datasets = [d for d in self._datasets if not d.closed]
+        self._datasets.append(resource)
+
+    def run(
+        self,
+        fn: Callable[[Any, dict[str, np.ndarray]], Any],
+        payloads: Sequence[Any],
+        dataset: SharedDataset | None = None,
+    ) -> list:
+        """Run ``fn(payload, arrays)`` per payload; results in payload order.
+
+        ``fn`` must be defined at module level (workers import it by
+        reference). With ``workers=0`` the calls happen inline, in order,
+        on the parent-side arrays.
+        """
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        if self.serial:
+            arrays = dataset.arrays if dataset is not None else {}
+            return [fn(payload, arrays) for payload in payloads]
+        specs = dataset.specs if dataset is not None else {}
+        pool = self._ensure_pool()
+        tasks = [(fn, payload, specs) for payload in payloads]
+        return list(pool.map(_run_shard, tasks))
+
+    def submit(
+        self,
+        fn: Callable[[Any, dict[str, np.ndarray]], Any],
+        payload: Any,
+        dataset: SharedDataset | None = None,
+    ) -> Future:
+        """Dispatch one shard asynchronously; returns its ``Future``.
+
+        The pipeline's process engine uses this to keep the parent thread
+        free to poll its generation counter while the solve runs
+        out-of-process. Serial executors run the shard inline and return
+        an already-resolved future.
+        """
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        if self.serial:
+            future: Future = Future()
+            try:
+                arrays = dataset.arrays if dataset is not None else {}
+                future.set_result(fn(payload, arrays))
+            except BaseException as exc:  # pragma: no cover - error funnel
+                future.set_exception(exc)
+            return future
+        specs = dataset.specs if dataset is not None else {}
+        return self._ensure_pool().submit(_run_shard, (fn, payload, specs))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the pool down and unlink every shared segment (idempotent)."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        for ds in self._datasets:
+            ds.close()
+        self._datasets = []
+
+    def __enter__(self) -> "ShardedExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ShardedExecutor(workers={self._workers})"

@@ -24,7 +24,13 @@ from .measures import (
     measure_names,
     register_measure,
 )
-from .scanning import CutoffScan, criterion_comparison, cutoff_scan
+from .scanning import (
+    CutoffScan,
+    TrajectoryScan,
+    criterion_comparison,
+    cutoff_scan,
+    trajectory_cutoff_scan,
+)
 from .timeseries import (
     MeasureSeries,
     measure_over_trajectory,
@@ -52,6 +58,8 @@ __all__ = [
     "measure_over_trajectory",
     "topology_over_trajectory",
     "CutoffScan",
+    "TrajectoryScan",
     "cutoff_scan",
+    "trajectory_cutoff_scan",
     "criterion_comparison",
 ]

@@ -87,6 +87,11 @@ class RINBuilder:
         """The active distance criterion."""
         return self._criterion
 
+    @property
+    def min_sequence_separation(self) -> int:
+        """Minimum |i - j| for a contact to become an edge."""
+        return self._min_sep
+
     def distance_matrix(self, frame: int) -> np.ndarray:
         """Residue-distance matrix of ``frame`` (LRU-cached)."""
         if frame in self._cache:

@@ -223,6 +223,45 @@ class DynamicRIN:
         self._frame, self._cutoff = new_frame, new_cutoff
         return update
 
+    def scan(
+        self,
+        cutoffs: np.ndarray | list[float],
+        *,
+        workers: int | None = 0,
+        executor=None,
+    ) -> "CutoffScan":
+        """Cut-off sweep of the *current frame* (the widget's scan view).
+
+        Reuses the builder's cached residue-distance matrix — a scan
+        issued right after slider moves costs zero distance computations —
+        and runs the sharded descriptor sweep from
+        :mod:`~repro.rin.scanning` (``workers``/``executor`` as in
+        :func:`~repro.rin.scanning.cutoff_scan`; ``workers=0`` stays
+        serial and in-process).
+        """
+        from ..graphkit.kernels import sorted_contact_order
+        from .scanning import (
+            CutoffScan,
+            _resolve_executor,
+            _validated_cutoffs,
+            scan_sorted_contacts,
+        )
+
+        cutoffs = _validated_cutoffs(cutoffs)
+        dm = self._builder.distance_matrix(self._frame)
+        pairs, sorted_d = sorted_contact_order(
+            dm, min_separation=self._builder.min_sequence_separation
+        )
+        ex, own = _resolve_executor(workers, executor)
+        try:
+            arrays = scan_sorted_contacts(
+                self._n, pairs, sorted_d, cutoffs, executor=ex
+            )
+        finally:
+            if own:
+                ex.close()
+        return CutoffScan(self._builder.criterion.value, cutoffs, *arrays)
+
     def rebuild(self) -> Graph:
         """Rebuild from scratch (reference implementation for testing)."""
         self._graph = self._builder.build(self._frame, self._cutoff)

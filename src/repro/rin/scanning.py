@@ -6,28 +6,60 @@ in the distance cut-off can drastically alter the RIN topology, e.g.
 influencing the number of hubs and connected components."
 
 :func:`cutoff_scan` makes that analysis one call: sweep the cut-off and
-collect per-value topology descriptors; :func:`criterion_comparison`
-contrasts the three distance criteria at equivalent densities.
+collect per-value topology descriptors; :func:`trajectory_cutoff_scan`
+extends the sweep along the time axis (one scan per frame);
+:func:`criterion_comparison` contrasts the three distance criteria at
+equivalent densities.
+
+Execution model (see ``docs/ARCHITECTURE.md``, *The sharded scanning
+engine*): the per-cut-off descriptor loop and multi-frame scans are
+expressed as pure **shard functions** over frozen shared-memory arrays
+(the sorted contact order for one frame, the coordinate block for a
+trajectory) and dispatched through a
+:class:`~repro.graphkit.parallel.ShardedExecutor`. ``workers=0``
+(default) runs the same shard functions serially in-process; any
+``workers > 0`` run is bit-identical because every descriptor is a pure
+function of the cut-off's edge set — component counts come from an
+:class:`~repro.graphkit.components.IncrementalUnionFind` whose canonical
+labels are independent of shard boundaries.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from ..graphkit import connected_components, core_decomposition, local_clustering
+from ..graphkit import core_decomposition, local_clustering
+from ..graphkit.components import IncrementalUnionFind, connected_components
 from ..graphkit.csr import CSRDelta, CSRSnapshotBuffer, pack_edge_keys
 from ..graphkit.kernels import sorted_contact_order
+from ..graphkit.parallel import ShardedExecutor, chunk_ranges
 from ..md.distances import residue_distance_matrix
 from ..md.topology import Topology
 from .analysis import hubs
 from .construction import build_rin
 from .criteria import DistanceCriterion
 
-__all__ = ["CutoffScan", "cutoff_scan", "criterion_comparison"]
+__all__ = [
+    "CutoffScan",
+    "TrajectoryScan",
+    "cutoff_scan",
+    "trajectory_cutoff_scan",
+    "criterion_comparison",
+]
 
 _IMPLEMENTATIONS = ("vectorized", "reference")
+
+#: Column order of the descriptor arrays a shard returns.
+_DESCRIPTORS = (
+    "edges",
+    "components",
+    "hubs",
+    "mean_degree",
+    "max_coreness",
+    "mean_clustering",
+)
 
 
 @dataclass
@@ -77,6 +109,128 @@ class CutoffScan:
         ]
 
 
+@dataclass
+class TrajectoryScan:
+    """Cut-off scans of many frames: descriptor matrices ``[frame, cutoff]``."""
+
+    criterion: str
+    cutoffs: np.ndarray  # (n_cutoffs,)
+    frames: np.ndarray  # (n_frames,) trajectory frame indices
+    edges: np.ndarray  # (n_frames, n_cutoffs) int64
+    components: np.ndarray
+    hubs: np.ndarray
+    mean_degree: np.ndarray
+    max_coreness: np.ndarray
+    mean_clustering: np.ndarray
+
+    @property
+    def n_frames(self) -> int:
+        """Number of scanned frames."""
+        return len(self.frames)
+
+    def frame_scan(self, row: int) -> CutoffScan:
+        """The :class:`CutoffScan` of the ``row``-th scanned frame."""
+        return CutoffScan(
+            criterion=self.criterion,
+            cutoffs=self.cutoffs,
+            edges=self.edges[row],
+            components=self.components[row],
+            hubs=self.hubs[row],
+            mean_degree=self.mean_degree[row],
+            max_coreness=self.max_coreness[row],
+            mean_clustering=self.mean_clustering[row],
+        )
+
+    def percolation_series(self) -> np.ndarray:
+        """Per-frame percolation cut-off (nan where never connected)."""
+        return np.asarray(
+            [self.frame_scan(i).percolation_cutoff() for i in range(self.n_frames)]
+        )
+
+
+# ----------------------------------------------------------------------
+# shard functions (module-level: workers import them by reference)
+# ----------------------------------------------------------------------
+def _descriptor_rows(
+    n_res: int,
+    pairs: np.ndarray,
+    sorted_d: np.ndarray,
+    cutoffs: np.ndarray,
+) -> tuple[np.ndarray, ...]:
+    """Descriptor rows for ``cutoffs`` over one frame's sorted contacts.
+
+    The edge set at cut-off ``c`` is a prefix of the distance-sorted
+    contact order, so the walk folds each cut-off's *delta* into an
+    incrementally maintained CSR snapshot and an incremental union-find:
+    per cut-off cost is sized by the delta (plus the O(n) descriptor
+    reductions), never by re-accumulating the full edge set. Every
+    descriptor is a pure function of the prefix edge set, which makes the
+    rows independent of how a scan is split into shards.
+    """
+    k = len(cutoffs)
+    edges = np.zeros(k, dtype=np.int64)
+    comps = np.zeros(k, dtype=np.int64)
+    hub_counts = np.zeros(k, dtype=np.int64)
+    mean_deg = np.zeros(k)
+    max_core = np.zeros(k, dtype=np.int64)
+    mean_clust = np.zeros(k)
+    prefix = np.searchsorted(sorted_d, cutoffs, side="right")
+    snapshots = CSRSnapshotBuffer(n_res)
+    uf = IncrementalUnionFind(n_res)
+    no_removals = np.empty(0, dtype=np.int64)
+    prev = 0
+    for i, m in enumerate(prefix):
+        delta_pairs = pairs[prev:m]
+        csr = snapshots.apply(
+            CSRDelta(
+                n_res,
+                add_keys=pack_edge_keys(n_res, delta_pairs),
+                remove_keys=no_removals,
+            )
+        )
+        uf.union_edges(delta_pairs)
+        prev = m
+        edges[i] = m
+        comps[i] = uf.count
+        hub_counts[i] = len(hubs(csr))
+        degs = csr.degrees()
+        mean_deg[i] = degs.mean() if len(degs) else 0.0
+        core = core_decomposition(csr)
+        max_core[i] = core.max() if len(core) else 0
+        mean_clust[i] = float(local_clustering(csr).mean()) if len(degs) else 0.0
+    return edges, comps, hub_counts, mean_deg, max_core, mean_clust
+
+
+def _cutoff_shard(payload: tuple, arrays: dict) -> tuple[np.ndarray, ...]:
+    """Shard: descriptor rows for a contiguous cut-off slice of one frame.
+
+    Shared arrays: ``pairs`` (contacts in ascending-distance order) and
+    ``sorted_d`` (their distances) — frozen once per scan.
+    """
+    n_res, cutoffs_slice = payload
+    return _descriptor_rows(n_res, arrays["pairs"], arrays["sorted_d"], cutoffs_slice)
+
+
+def _frame_shard(payload: tuple, arrays: dict) -> tuple[np.ndarray, ...]:
+    """Shard: full cut-off scans for a contiguous block of frames.
+
+    Shared array: ``coords`` — the whole trajectory coordinate block,
+    placed once; each worker slices only the frames it owns (zero-copy).
+    """
+    topology, criterion, cutoffs, frame_ids = payload
+    coords = arrays["coords"]
+    n_res = topology.n_residues
+    rows = []
+    for f in frame_ids:
+        dm = residue_distance_matrix(topology, coords[int(f)], criterion)
+        pairs, sorted_d = sorted_contact_order(dm, min_separation=1)
+        rows.append(_descriptor_rows(n_res, pairs, sorted_d, cutoffs))
+    return tuple(np.stack([row[j] for row in rows]) for j in range(len(_DESCRIPTORS)))
+
+
+# ----------------------------------------------------------------------
+# engines
+# ----------------------------------------------------------------------
 def _scan_reference(
     topology: Topology,
     frame: np.ndarray,
@@ -98,47 +252,87 @@ def _scan_reference(
         mean_clust[i] = float(local_clustering(g).mean()) if len(degs) else 0.0
 
 
-def _scan_vectorized(
-    topology: Topology,
-    frame: np.ndarray,
-    cutoffs: np.ndarray,
-    crit: DistanceCriterion,
-    arrays: tuple[np.ndarray, ...],
-) -> None:
-    """Prefix sweep: one distance matrix, one sort, searchsorted per cut-off.
+def _validated_cutoffs(cutoffs: np.ndarray | list[float]) -> np.ndarray:
+    cutoffs = np.asarray(sorted(float(c) for c in cutoffs))
+    if len(cutoffs) == 0:
+        raise ValueError("need at least one cutoff")
+    if cutoffs[0] <= 0:
+        raise ValueError(f"cutoffs must be positive, got {cutoffs[0]}")
+    return cutoffs
 
-    The residue-distance matrix is computed *once* for the whole scan and
-    reduced to the distance-sorted contact order; the edge set at cut-off
-    ``c`` is then a prefix of that order. Because the scan walks cut-offs
-    in increasing order, consecutive prefixes differ by insertions only,
-    so each snapshot is produced by an add-only
-    :class:`~repro.graphkit.csr.CSRDelta` applied to the snapshot store,
-    whose incrementally maintained arc array makes every step cost one
-    merge sized by the delta — no dict-of-dicts graph and no re-sort of
-    the accumulated edge set per cut-off.
+
+def _resolve_executor(
+    workers: int | None, executor: ShardedExecutor | None
+) -> tuple[ShardedExecutor, bool]:
+    """The executor to scan with, and whether this call owns (closes) it."""
+    if executor is not None:
+        return executor, False
+    return ShardedExecutor(workers), True
+
+
+def fan_out_frames(
+    trajectory,
+    frame_ids: np.ndarray,
+    shard_fn,
+    payload_tail: tuple,
+    *,
+    workers: int | None,
+    executor: ShardedExecutor | None,
+) -> list:
+    """Run a frame-axis shard function over contiguous frame blocks.
+
+    The shared fan-out used by every multi-frame workload (trajectory
+    scans and the :mod:`~repro.rin.timeseries` series): the trajectory's
+    coordinate block is placed in shared memory once, frames are split
+    into one contiguous block per worker, and each payload is
+    ``(topology, *payload_tail, frame_block)``. Results come back in
+    block order; the per-call dataset is unlinked before returning.
     """
-    edges, comps, hub_counts, mean_deg, max_core, mean_clust = arrays
-    n_res = topology.n_residues
-    dm = residue_distance_matrix(topology, frame, crit.value)
-    pairs, sorted_d = sorted_contact_order(dm, min_separation=1)
-    prefix = np.searchsorted(sorted_d, cutoffs, side="right")
-    snapshots = CSRSnapshotBuffer(n_res)
-    no_removals = np.empty(0, dtype=np.int64)
-    prev = 0
-    for i, m in enumerate(prefix):
-        delta = CSRDelta(
-            n_res, add_keys=pack_edge_keys(n_res, pairs[prev:m]), remove_keys=no_removals
-        )
-        csr = snapshots.apply(delta)
-        prev = m
-        edges[i] = m
-        comps[i], _ = connected_components(csr)
-        hub_counts[i] = len(hubs(csr))
-        degs = csr.degrees()
-        mean_deg[i] = degs.mean() if len(degs) else 0.0
-        core = core_decomposition(csr)
-        max_core[i] = core.max() if len(core) else 0
-        mean_clust[i] = float(local_clustering(csr).mean()) if len(degs) else 0.0
+    ex, own = _resolve_executor(workers, executor)
+    try:
+        dataset = ex.share(coords=trajectory.coordinates)
+        try:
+            spans = chunk_ranges(len(frame_ids), max(1, ex.workers))
+            payloads = [
+                (trajectory.topology, *payload_tail, frame_ids[lo:hi])
+                for lo, hi in spans
+                if hi > lo
+            ]
+            return ex.run(shard_fn, payloads, dataset)
+        finally:
+            dataset.close()
+    finally:
+        if own:
+            ex.close()
+
+
+def scan_sorted_contacts(
+    n_res: int,
+    pairs: np.ndarray,
+    sorted_d: np.ndarray,
+    cutoffs: np.ndarray,
+    *,
+    executor: ShardedExecutor,
+) -> tuple[np.ndarray, ...]:
+    """Sharded descriptor sweep over a precomputed sorted contact order.
+
+    Splits the cut-off axis into one contiguous slice per worker, shares
+    the frozen contact arrays, and merges shard rows back in slice order
+    (the deterministic shard→merge contract). This is the entry point for
+    callers that already hold a distance matrix — e.g.
+    :meth:`~repro.rin.dynamic.DynamicRIN.scan` reusing its builder cache.
+    """
+    dataset = executor.share(pairs=pairs, sorted_d=sorted_d)
+    try:
+        spans = chunk_ranges(len(cutoffs), max(1, executor.workers))
+        payloads = [(n_res, cutoffs[lo:hi]) for lo, hi in spans if hi > lo]
+        parts = executor.run(_cutoff_shard, payloads, dataset)
+    finally:
+        dataset.close()
+    return tuple(
+        np.concatenate([part[j] for part in parts])
+        for j in range(len(_DESCRIPTORS))
+    )
 
 
 def cutoff_scan(
@@ -148,41 +342,94 @@ def cutoff_scan(
     *,
     criterion: DistanceCriterion | str = DistanceCriterion.MINIMUM,
     impl: str = "vectorized",
+    workers: int | None = 0,
+    executor: ShardedExecutor | None = None,
 ) -> CutoffScan:
     """Sweep cut-offs and collect topology descriptors for one frame.
 
     ``impl="vectorized"`` (default) computes the residue-distance matrix
     once and walks sorted-contact prefixes; ``impl="reference"`` rebuilds
     the RIN per cut-off (the naive path, kept for differential testing).
+
+    ``workers`` shards the per-cut-off descriptor loop across a process
+    pool (``0`` = serial in-process, bit-identical results; ``None`` =
+    one worker per core). Pass a live ``executor`` instead to amortize
+    pool start-up across scans — the call then never closes it.
     """
     if impl not in _IMPLEMENTATIONS:
         raise ValueError(f"impl must be one of {_IMPLEMENTATIONS}, got {impl!r}")
     crit = DistanceCriterion.parse(criterion)
-    cutoffs = np.asarray(sorted(float(c) for c in cutoffs))
-    if len(cutoffs) == 0:
-        raise ValueError("need at least one cutoff")
-    if cutoffs[0] <= 0:
-        raise ValueError(f"cutoffs must be positive, got {cutoffs[0]}")
-    n = len(cutoffs)
-    edges = np.zeros(n, dtype=np.int64)
-    comps = np.zeros(n, dtype=np.int64)
-    hub_counts = np.zeros(n, dtype=np.int64)
-    mean_deg = np.zeros(n)
-    max_core = np.zeros(n, dtype=np.int64)
-    mean_clust = np.zeros(n)
-    arrays = (edges, comps, hub_counts, mean_deg, max_core, mean_clust)
-    scan = _scan_vectorized if impl == "vectorized" else _scan_reference
-    scan(topology, frame, cutoffs, crit, arrays)
-    return CutoffScan(
-        criterion=crit.value,
-        cutoffs=cutoffs,
-        edges=edges,
-        components=comps,
-        hubs=hub_counts,
-        mean_degree=mean_deg,
-        max_coreness=max_core,
-        mean_clustering=mean_clust,
+    cutoffs = _validated_cutoffs(cutoffs)
+    if impl == "reference":
+        if workers != 0 or executor is not None:
+            raise ValueError("impl='reference' is the serial twin; use workers=0")
+        n = len(cutoffs)
+        arrays = (
+            np.zeros(n, dtype=np.int64),
+            np.zeros(n, dtype=np.int64),
+            np.zeros(n, dtype=np.int64),
+            np.zeros(n),
+            np.zeros(n, dtype=np.int64),
+            np.zeros(n),
+        )
+        _scan_reference(topology, frame, cutoffs, crit, arrays)
+    else:
+        ex, own = _resolve_executor(workers, executor)
+        try:
+            dm = residue_distance_matrix(topology, frame, crit.value)
+            pairs, sorted_d = sorted_contact_order(dm, min_separation=1)
+            arrays = scan_sorted_contacts(
+                topology.n_residues, pairs, sorted_d, cutoffs, executor=ex
+            )
+        finally:
+            if own:
+                ex.close()
+    return CutoffScan(crit.value, cutoffs, *arrays)
+
+
+def trajectory_cutoff_scan(
+    trajectory,
+    cutoffs: np.ndarray | list[float],
+    *,
+    frames: np.ndarray | list[int] | None = None,
+    criterion: DistanceCriterion | str = DistanceCriterion.MINIMUM,
+    workers: int | None = 0,
+    executor: ShardedExecutor | None = None,
+) -> TrajectoryScan:
+    """Cut-off scans across trajectory frames, fanned out over the pool.
+
+    The frame axis is the shard axis: each worker owns a contiguous block
+    of frames and runs the full prefix sweep per frame against the
+    trajectory coordinate block, which is placed in shared memory once
+    and attached zero-copy. ``workers=0`` (default) runs the identical
+    shard function serially; results are bit-identical for any worker
+    count. Descriptors come back as ``[frame, cutoff]`` matrices on
+    :class:`TrajectoryScan`.
+    """
+    crit = DistanceCriterion.parse(criterion)
+    cutoffs = _validated_cutoffs(cutoffs)
+    frame_ids = (
+        np.arange(trajectory.n_frames, dtype=np.int64)
+        if frames is None
+        else np.asarray(frames, dtype=np.int64)
     )
+    if len(frame_ids) == 0:
+        raise ValueError("need at least one frame")
+    for f in frame_ids:
+        trajectory.frame(int(f))  # validates the index
+    parts = fan_out_frames(
+        trajectory,
+        frame_ids,
+        _frame_shard,
+        (crit.value, cutoffs),
+        workers=workers,
+        executor=executor,
+    )
+    stacked = tuple(
+        np.concatenate([part[j] for part in parts])
+        for j in range(len(_DESCRIPTORS))
+    )
+    return TrajectoryScan(crit.value, cutoffs, frame_ids, *stacked)
 
 
 def criterion_comparison(

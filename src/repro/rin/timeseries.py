@@ -4,6 +4,13 @@ topology and corresponding network measures change over time").
 These are the arrays a downstream ML pipeline (paper §VII) would consume:
 for every trajectory frame, the node-score vector of a measure, plus
 topology summaries (edge count, components, mean degree).
+
+Both series builders accept ``workers=`` / ``executor=``: frames are the
+shard axis, the trajectory coordinate block is placed in shared memory
+once, and each pool worker computes its contiguous frame block against a
+zero-copy view (see ``docs/ARCHITECTURE.md``, *The sharded scanning
+engine*). ``workers=0`` (default) runs the same shard functions serially
+in-process — results are bit-identical for any worker count.
 """
 
 from __future__ import annotations
@@ -13,10 +20,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graphkit.components import connected_components
+from ..graphkit.csr import CSRGraph
+from ..graphkit.parallel import ShardedExecutor
+from ..md.distances import contact_pairs, residue_distance_matrix
 from ..md.trajectory import Trajectory
-from .construction import RINBuilder
 from .criteria import DistanceCriterion
 from .measures import get_measure
+from .scanning import fan_out_frames
 
 __all__ = ["MeasureSeries", "measure_over_trajectory", "topology_over_trajectory"]
 
@@ -47,6 +57,43 @@ class MeasureSeries:
         return np.argsort(-self.per_residue_std())[:k].astype(np.int64)
 
 
+def _frame_csr(
+    topology, coords: np.ndarray, cutoff: float, criterion: str
+) -> CSRGraph:
+    """The RIN CSR snapshot of one frame (worker-side construction)."""
+    dm = residue_distance_matrix(topology, coords, criterion)
+    pairs = contact_pairs(dm, cutoff)
+    return CSRGraph.from_unique_edge_array(topology.n_residues, pairs)
+
+
+def _measure_shard(payload: tuple, arrays: dict) -> np.ndarray:
+    """Shard: one measure's score rows for a contiguous frame block."""
+    topology, criterion, cutoff, measure_name, frame_ids = payload
+    m = get_measure(measure_name)
+    coords = arrays["coords"]
+    out = np.empty((len(frame_ids), topology.n_residues))
+    for row, f in enumerate(frame_ids):
+        out[row] = m(_frame_csr(topology, coords[int(f)], cutoff, criterion))
+    return out
+
+
+def _topology_shard(payload: tuple, arrays: dict) -> tuple[np.ndarray, ...]:
+    """Shard: per-frame topology summaries for a contiguous frame block."""
+    topology, criterion, cutoff, frame_ids = payload
+    coords = arrays["coords"]
+    k = len(frame_ids)
+    edges = np.empty(k, dtype=np.int64)
+    comps = np.empty(k, dtype=np.int64)
+    mean_degree = np.empty(k)
+    for row, f in enumerate(frame_ids):
+        csr = _frame_csr(topology, coords[int(f)], cutoff, criterion)
+        edges[row] = csr.number_of_edges()
+        comps[row], _ = connected_components(csr)
+        degs = csr.degrees()
+        mean_degree[row] = degs.mean() if len(degs) else 0.0
+    return edges, comps, mean_degree
+
+
 def measure_over_trajectory(
     trajectory: Trajectory,
     measure: str,
@@ -54,18 +101,35 @@ def measure_over_trajectory(
     *,
     criterion: DistanceCriterion | str = DistanceCriterion.MINIMUM,
     frames: np.ndarray | None = None,
+    workers: int | None = 0,
+    executor: ShardedExecutor | None = None,
 ) -> MeasureSeries:
-    """Compute one measure on the RIN of every (selected) frame."""
-    m = get_measure(measure)
-    builder = RINBuilder(trajectory, criterion=criterion)
+    """Compute one measure on the RIN of every (selected) frame.
+
+    ``workers`` fans the frame loop out across the process pool
+    (``0`` = serial, ``None`` = one worker per core); pass a live
+    ``executor`` to amortize pool start-up across series.
+    """
+    get_measure(measure)  # validates the name before any fan-out
+    crit = DistanceCriterion.parse(criterion)
     frame_ids = (
-        np.arange(trajectory.n_frames) if frames is None else np.asarray(frames)
+        np.arange(trajectory.n_frames, dtype=np.int64)
+        if frames is None
+        else np.asarray(frames, dtype=np.int64)
     )
-    n_res = trajectory.topology.n_residues
-    values = np.empty((len(frame_ids), n_res))
-    for row, f in enumerate(frame_ids):
-        values[row] = m(builder.build(int(f), cutoff))
-    return MeasureSeries(measure=measure, cutoff=cutoff, values=values)
+    for f in frame_ids:
+        trajectory.frame(int(f))  # validates the index
+    parts = fan_out_frames(
+        trajectory,
+        frame_ids,
+        _measure_shard,
+        (crit.value, float(cutoff), measure),
+        workers=workers,
+        executor=executor,
+    )
+    return MeasureSeries(
+        measure=measure, cutoff=cutoff, values=np.concatenate(parts)
+    )
 
 
 def topology_over_trajectory(
@@ -73,22 +137,31 @@ def topology_over_trajectory(
     cutoff: float,
     *,
     criterion: DistanceCriterion | str = DistanceCriterion.MINIMUM,
+    workers: int | None = 0,
+    executor: ShardedExecutor | None = None,
 ) -> dict[str, np.ndarray]:
     """Per-frame topology summaries: edges, components, mean degree.
 
     The §IV observation "changes in the distance cut-off can drastically
     alter the RIN topology, e.g. influencing the number of hubs and
     connected components" made quantitative along the time axis.
+    ``workers`` / ``executor`` fan the frame loop across the process pool
+    exactly as in :func:`measure_over_trajectory`.
     """
-    builder = RINBuilder(trajectory, criterion=criterion)
-    frames = trajectory.n_frames
-    edges = np.empty(frames, dtype=np.int64)
-    comps = np.empty(frames, dtype=np.int64)
-    mean_degree = np.empty(frames)
-    for f in range(frames):
-        g = builder.build(f, cutoff)
-        edges[f] = g.number_of_edges()
-        comps[f], _ = connected_components(g)
-        degs = g.degrees()
-        mean_degree[f] = degs.mean() if len(degs) else 0.0
-    return {"edges": edges, "components": comps, "mean_degree": mean_degree}
+    if cutoff <= 0:
+        raise ValueError(f"cutoff must be positive, got {cutoff}")
+    crit = DistanceCriterion.parse(criterion)
+    frame_ids = np.arange(trajectory.n_frames, dtype=np.int64)
+    parts = fan_out_frames(
+        trajectory,
+        frame_ids,
+        _topology_shard,
+        (crit.value, float(cutoff)),
+        workers=workers,
+        executor=executor,
+    )
+    return {
+        "edges": np.concatenate([p[0] for p in parts]),
+        "components": np.concatenate([p[1] for p in parts]),
+        "mean_degree": np.concatenate([p[2] for p in parts]),
+    }

@@ -14,7 +14,7 @@ would (full rebuilds vs. partial restyles).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 from .traces import Scatter, Scatter3d

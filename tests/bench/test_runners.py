@@ -1,6 +1,5 @@
 """Unit tests for the benchmark harness (quick configurations)."""
 
-import numpy as np
 import pytest
 
 from repro.bench import (

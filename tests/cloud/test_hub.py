@@ -238,7 +238,7 @@ class TestCloudSession:
             session.switch_cutoff(5.0)
 
     def test_throttled_pod_slows_down(self, stack):
-        from repro.cloud import HubConfig, Resources
+        from repro.cloud import Resources
 
         cluster, hub, proxy = stack
         # Shrink the per-instance limit below the widget demand (4 cores).

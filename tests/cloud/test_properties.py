@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) for the cloud scheduler."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -4,7 +4,6 @@ import networkx as nx
 import numpy as np
 import pytest
 
-from repro.graphkit import Graph
 from repro.graphkit.centrality import (
     Betweenness,
     Closeness,

@@ -1,9 +1,11 @@
 """Unit tests for connected components."""
 
+import numpy as np
 import pytest
 
 from repro.graphkit import ConnectedComponents, Graph, connected_components
-from repro.graphkit.components import largest_component
+from repro.graphkit.components import IncrementalUnionFind, largest_component
+from repro.graphkit.csr import CSRGraph
 
 
 class TestConnectedComponents:
@@ -55,3 +57,81 @@ class TestConnectedComponents:
         g = Graph.from_edges(10, [(i, i + 1) for i in range(0, 9, 2)])
         count, _ = connected_components(g)
         assert count == 5
+
+
+class TestIncrementalUnionFind:
+    def _partition(self, labels):
+        groups = {}
+        for node, lab in enumerate(labels):
+            groups.setdefault(int(lab), []).append(node)
+        return sorted(map(tuple, groups.values()))
+
+    def test_initial_state(self):
+        uf = IncrementalUnionFind(5)
+        assert uf.count == 5
+        assert uf.labels.tolist() == [0, 1, 2, 3, 4]
+
+    def test_empty_graph(self):
+        uf = IncrementalUnionFind(0)
+        assert uf.count == 0
+        assert uf.union_edges(np.empty((0, 2), dtype=np.int64)) == 0
+
+    def test_batch_transitive_closure(self):
+        # A whole chain folded in one batch: one merge pass resolves it.
+        uf = IncrementalUnionFind(6)
+        merged = uf.union_edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)])
+        assert merged == 5
+        assert uf.count == 1
+        assert set(uf.labels.tolist()) == {0}
+
+    def test_canonical_labels_are_min_member(self):
+        uf = IncrementalUnionFind(6)
+        uf.union_edges([(4, 5)])
+        uf.union_edges([(2, 4)])
+        assert uf.labels[4] == uf.labels[5] == uf.labels[2] == 2
+
+    def test_redundant_edges_no_merge(self):
+        uf = IncrementalUnionFind(4)
+        uf.union_edges([(0, 1)])
+        assert uf.union_edges([(1, 0), (0, 1)]) == 0
+        assert uf.count == 3
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            IncrementalUnionFind(-1)
+
+    def test_labels_read_only(self):
+        uf = IncrementalUnionFind(3)
+        with pytest.raises(ValueError):
+            uf.labels[0] = 9
+
+    def test_prefix_differential_vs_per_cutoff_components(self):
+        """Incremental labels pin against full per-prefix component runs.
+
+        This is the exact access pattern of the cut-off scan: a sorted
+        edge stream folded in prefix batches, where previously every
+        cut-off ran its own :func:`connected_components` pass.
+        """
+        rng = np.random.default_rng(42)
+        for trial in range(10):
+            n = int(rng.integers(2, 40))
+            m = int(rng.integers(1, 3 * n))
+            raw = rng.integers(0, n, size=(m, 2))
+            raw = raw[raw[:, 0] != raw[:, 1]]
+            uf = IncrementalUnionFind(n)
+            boundaries = np.unique(
+                rng.integers(0, len(raw) + 1, size=4).tolist() + [len(raw)]
+            )
+            prev = 0
+            for boundary in boundaries:
+                uf.union_edges(raw[prev:boundary])
+                prev = int(boundary)
+                u = np.minimum(raw[:boundary, 0], raw[:boundary, 1])
+                v = np.maximum(raw[:boundary, 0], raw[:boundary, 1])
+                keys = np.unique(u * n + v)
+                pairs = np.column_stack(np.divmod(keys, n))
+                count, labels = connected_components(
+                    CSRGraph.from_unique_edge_array(n, pairs)
+                )
+                assert count == uf.count, trial
+                assert self._partition(labels) == self._partition(uf.labels)

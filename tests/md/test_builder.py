@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.md import SegmentPlacement, StructureBuilder, Topology, proteins
+from repro.md import SegmentPlacement, Topology, proteins
 from repro.md.builder import build_ca_trace, build_structure
 from repro.md.geometry import (
     CA_VIRTUAL_BOND,

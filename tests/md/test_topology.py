@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.md import AMINO_ACIDS, SecondaryStructure, Topology
+from repro.md import AMINO_ACIDS, Topology
 from repro.md.elements import mass_of, vdw_radius_of
 
 
