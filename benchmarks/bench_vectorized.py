@@ -17,7 +17,12 @@ Times every hot path that gained a CSR-kernel engine against its
   union-find along sorted-contact prefixes) against the serial naive
   sweep that rebuilds the RIN per cut-off per frame, and ``dynrin_scan``
   times the widget's mid-session scan view (``DynamicRIN.scan`` on the
-  warm distance-matrix cache) against the same naive sweep;
+  warm distance-matrix cache) against the same naive sweep; plus the
+  delta-aware measure engine — ``incremental_measures`` walks a fine
+  multi-frame sweep of the interactive cut-off neighbourhood and
+  compares maintained degree/coreness/component state
+  (``IncrementalMeasures`` advancing per delta) against a per-snapshot
+  full recompute of the same descriptors;
 * Fig. 8 (frame switch): the DynamicRIN frame-sweep diff loop and the
   Maxent-Stress layout (k=3, the paper's Listing 1 parameters);
 * interactive latency: a burst of rapid cut-off slider events replayed
@@ -40,6 +45,8 @@ import sys
 import time
 from pathlib import Path
 
+import numpy as np
+
 from repro.bench import PAPER_HIGH_CUTOFF, PAPER_PROTEINS, protein_trajectory
 from repro.core import AsyncUpdatePipeline, UpdatePipeline
 from repro.graphkit import Graph
@@ -49,6 +56,9 @@ from repro.graphkit.centrality import (
     HarmonicCloseness,
     PageRank,
 )
+from repro.graphkit.csr import CSRDelta, CSRSnapshotBuffer, pack_edge_keys
+from repro.graphkit.incremental import IncrementalMeasures, full_measures
+from repro.graphkit.kernels import sorted_contact_order
 from repro.graphkit.layout import maxent_stress_layout
 from repro.graphkit.parallel import ShardedExecutor
 from repro.md.distances import residue_distance_matrix
@@ -62,6 +72,11 @@ SCAN_CUTOFFS = [3.0 + 0.5 * i for i in range(15)]
 SCAN_FRAMES = list(range(12))
 #: Pool width of the sharded-scan scenarios (the acceptance-gate knob).
 SCAN_WORKERS = 8
+#: The incremental-measures scenario: a fine sweep of the interactive
+#: cut-off neighbourhood (the slider's micro-move regime, where per-step
+#: edge deltas are a handful of contacts), walked over several frames.
+FINE_SCAN_CUTOFFS = np.linspace(4.0, 5.0, 200)
+FINE_SCAN_FRAMES = list(range(6))
 
 
 def best_ms(fn, *, repeats: int = 3, warmup: int = 1) -> float:
@@ -199,6 +214,50 @@ def main() -> int:
 
         record(f"fig7_dynrin_scan_{protein}", dynrin_scan)
         scan_pool.close()
+
+        # Fig. 7 — delta-aware measure maintenance on the multi-frame
+        # fine scan. Both engines walk identical sorted-contact prefixes
+        # (the contact orders are precomputed per frame, as the widget's
+        # warm distance-matrix cache would hold them); per snapshot,
+        # 'reference' recomputes every maintained descriptor from
+        # scratch (degrees, strengths, the core-number bulk peel,
+        # canonical components) while 'vectorized' advances the
+        # IncrementalMeasures engine across the delta (bincount degree
+        # folds, union-find/bounded re-scan components, traversal-
+        # bounded k-core repair) and reads maintained state.
+        contact_orders = []
+        for f in FINE_SCAN_FRAMES:
+            dm_f = residue_distance_matrix(topo, traj.frame(f), "min")
+            pairs_f, sorted_f = sorted_contact_order(dm_f, min_separation=1)
+            contact_orders.append(
+                (pairs_f, np.searchsorted(sorted_f, FINE_SCAN_CUTOFFS, side="right"))
+            )
+        n_res = topo.n_residues
+        no_removals = np.empty(0, dtype=np.int64)
+
+        def incremental_measures(impl):
+            for pairs_f, prefix in contact_orders:
+                snapshots = CSRSnapshotBuffer(n_res)
+                engine = IncrementalMeasures(n_res)
+                prev = 0
+                for m in prefix:
+                    delta = CSRDelta(
+                        n_res,
+                        pack_edge_keys(n_res, pairs_f[prev:m]),
+                        no_removals,
+                    )
+                    csr = snapshots.apply(delta)
+                    prev = m
+                    if impl == "reference":
+                        full_measures(csr)
+                    else:
+                        engine.apply(delta, csr)
+                        engine.degrees()
+                        engine.weighted_degrees()
+                        engine.core_numbers()
+                        engine.component_labels()
+
+        record(f"fig7_incremental_measures_{protein}", incremental_measures)
 
         # Fig. 7d — the widget's cut-off diff sequence.
         def cutoff_sequence(impl):

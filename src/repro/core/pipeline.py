@@ -206,6 +206,19 @@ class UpdatePipeline:
         """Where layout solves run: ``"thread"`` or ``"process"``."""
         return self._engine_kind
 
+    def topology_summary(self) -> dict[str, float]:
+        """Topology descriptors of the current RIN, off maintained state.
+
+        Delegates to :meth:`~repro.rin.dynamic.DynamicRIN.measure_summary`,
+        which reads the incremental-measure engine under the RIN's state
+        lock — after a slider event this costs one (usually tiny) delta
+        fold, never a per-snapshot recompute, and the summary is a
+        consistent snapshot of one state even mid-burst. What the
+        widget's status line and the per-event timing records
+        (``components_after`` / ``max_coreness_after``) are built from.
+        """
+        return self._rin.measure_summary()
+
     def close(self) -> None:
         """Release the solver pool and its shared flag (idempotent).
 
@@ -396,6 +409,10 @@ class UpdatePipeline:
             kind = EventKind.MEASURE_SWITCH
         self._topology_dirty = False
         self._positions_dirty = False
+        # Published-state descriptors come off the RIN's maintained
+        # incremental-measure engine: after the edge diff above this is
+        # one (usually tiny) delta fold, not a per-snapshot recompute.
+        maintained = self._rin.measures
         t4 = _now_ms()
         return UpdateTiming(
             kind=kind,
@@ -406,6 +423,8 @@ class UpdatePipeline:
             client_ms=self._client.simulated_ms(),
             edges_after=self._rin.n_edges,
             edges_changed=diff.total if diff is not None else 0,
+            components_after=maintained.component_count,
+            max_coreness_after=maintained.max_core_number(),
             generation=generation,
         )
 
@@ -429,12 +448,15 @@ class UpdatePipeline:
         t0 = _now_ms()
         self._client.reset()
         self._initial_render()
+        maintained = self._rin.measures
         t1 = _now_ms()
         return UpdateTiming(
             kind=EventKind.FULL_RENDER,
             data_handling_ms=t1 - t0,
             client_ms=self._client.simulated_ms(),
             edges_after=self._rin.n_edges,
+            components_after=maintained.component_count,
+            max_coreness_after=maintained.max_core_number(),
         )
 
 

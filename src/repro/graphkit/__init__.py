@@ -30,6 +30,7 @@ from .distance import (
     multi_source_dijkstra,
 )
 from .graph import Graph
+from .incremental import IncrementalMeasures, canonical_components, full_measures
 from .parallel import get_num_threads, set_num_threads
 
 __all__ = [
@@ -50,6 +51,9 @@ __all__ = [
     "ConnectedComponents",
     "connected_components",
     "largest_component",
+    "IncrementalMeasures",
+    "canonical_components",
+    "full_measures",
     "BFS",
     "APSP",
     "Diameter",

@@ -23,17 +23,21 @@ Engine split (the twin-engine convention, see ``docs/ARCHITECTURE.md``):
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..graphkit import Graph
-from ..graphkit.csr import CSRGraph, CSRSnapshotBuffer, pack_edge_keys
+from ..graphkit.csr import CSRDelta, CSRGraph, CSRSnapshotBuffer, pack_edge_keys
+from ..graphkit.incremental import IncrementalMeasures, full_measures
 from ..md.trajectory import Trajectory
 from .construction import RINBuilder
 from .criteria import DistanceCriterion
 
 __all__ = ["DynamicRIN", "EdgeUpdate"]
+
+_MEASURE_IMPLS = ("incremental", "full")
 
 
 @dataclass(frozen=True)
@@ -104,6 +108,17 @@ class DynamicRIN:
         # Keys the dict-graph view currently reflects (vectorized engine
         # defers replay until someone asks for the mutable graph).
         self._synced_keys = self._edge_keys
+        # The maintained-measure engine and the keys it reflects; both
+        # are lazy (created/advanced on first read after updates), so a
+        # burst of slider moves costs one combined delta apply.
+        self._measures: IncrementalMeasures | None = None
+        self._measures_keys: np.ndarray | None = None
+        # Guards every read/advance of the lazily-synced views (the dict
+        # graph and the measure engine) against the snapshot/key state a
+        # worker thread mutates: a reader mid-delta sees either the old
+        # or the new state, never a torn mix, and two concurrent syncs
+        # can never replay the same diff twice.
+        self._state_lock = threading.RLock()
 
     # ------------------------------------------------------------------
     @property
@@ -114,10 +129,13 @@ class DynamicRIN:
         handle. Under the vectorized engine the view is synchronized
         lazily — accessing it after slider moves replays the accumulated
         net edge diff (the naive per-edge path, deliberately off the
-        interactive fast path; use :attr:`csr` there).
+        interactive fast path; use :attr:`csr` there). Synchronization
+        runs under the state lock, so reading the view while a worker
+        thread applies deltas is safe.
         """
-        self._sync_graph()
-        return self._graph
+        with self._state_lock:
+            self._sync_graph()
+            return self._graph
 
     @property
     def csr(self) -> CSRGraph:
@@ -128,6 +146,68 @@ class DynamicRIN:
     def snapshots(self) -> CSRSnapshotBuffer:
         """The double-buffered snapshot store behind :attr:`csr`."""
         return self._snapshots
+
+    @property
+    def measures(self) -> IncrementalMeasures:
+        """The maintained measure engine, synced to the current state.
+
+        Degree, weighted degree, core numbers and component labels are
+        maintained *incrementally* across slider moves: reading after a
+        burst of updates applies one net delta (bounded k-core repair,
+        component re-scan/union) instead of recomputing per snapshot.
+        Never advanced on the slider fast path — only on access.
+        """
+        with self._state_lock:
+            return self._sync_measures()
+
+    def _measure_read(self, impl: str, key: str):
+        if impl not in _MEASURE_IMPLS:
+            raise ValueError(f"impl must be one of {_MEASURE_IMPLS}, got {impl!r}")
+        with self._state_lock:
+            if impl == "full":
+                return full_measures(self._snapshots.current)[key]
+            return getattr(self._sync_measures(), key)()
+
+    def degrees(self, *, impl: str = "incremental") -> np.ndarray:
+        """Per-node degree; ``impl="full"`` recomputes from the snapshot."""
+        return self._measure_read(impl, "degrees")
+
+    def weighted_degrees(self, *, impl: str = "incremental") -> np.ndarray:
+        """Per-node strength; ``impl="full"`` recomputes from the snapshot."""
+        return self._measure_read(impl, "weighted_degrees")
+
+    def core_numbers(self, *, impl: str = "incremental") -> np.ndarray:
+        """Per-node coreness; ``impl="full"`` runs the bulk peel afresh."""
+        return self._measure_read(impl, "core_numbers")
+
+    def components(self, *, impl: str = "incremental") -> tuple[int, np.ndarray]:
+        """Component count and canonical labels (smallest-member ids)."""
+        if impl not in _MEASURE_IMPLS:
+            raise ValueError(f"impl must be one of {_MEASURE_IMPLS}, got {impl!r}")
+        with self._state_lock:
+            if impl == "full":
+                state = full_measures(self._snapshots.current)
+                return state["component_count"], state["component_labels"]
+            engine = self._sync_measures()
+            return engine.component_count, engine.component_labels()
+
+    def measure_summary(self) -> dict[str, float]:
+        """One consistent topology summary off maintained state.
+
+        Engine sync and every read happen under the state lock, so the
+        summary is a snapshot of *one* state even while a worker thread
+        applies deltas — individual reads taken back to back could
+        otherwise straddle an update.
+        """
+        with self._state_lock:
+            engine = self._sync_measures()
+            degs = engine.degrees()
+            return {
+                "edges": float(len(self._edge_keys)),
+                "components": float(engine.component_count),
+                "max_coreness": float(engine.max_core_number()),
+                "mean_degree": float(degs.mean()) if len(degs) else 0.0,
+            }
 
     @property
     def n_edges(self) -> int:
@@ -160,9 +240,12 @@ class DynamicRIN:
 
     # ------------------------------------------------------------------
     def _sync_graph(self) -> None:
-        """Replay pending key diffs into the mutable dict graph (lazy)."""
-        # Capture once: a worker thread may rebind _edge_keys mid-sync, and
-        # the synced marker must match the keys actually replayed.
+        """Replay pending key diffs into the mutable dict graph (lazy).
+
+        Caller must hold :attr:`_state_lock` — without it a reader racing
+        a worker-thread delta could replay a diff against keys that no
+        longer match the marker, permanently corrupting the dict view.
+        """
         target = self._edge_keys
         if self._synced_keys is target:
             return
@@ -174,28 +257,52 @@ class DynamicRIN:
         )
         self._synced_keys = target
 
+    def _sync_measures(self) -> IncrementalMeasures:
+        """Advance the maintained-measure engine to the current keys (lazy).
+
+        Caller must hold :attr:`_state_lock`. A burst of slider moves is
+        folded into one net :class:`~repro.graphkit.csr.CSRDelta`; the
+        engine repairs core numbers along it (or full-peels when the net
+        delta is large) and re-scans/unions components — see
+        ``docs/ARCHITECTURE.md``, *The incremental measure engine*.
+        """
+        target = self._edge_keys
+        if self._measures is None:
+            self._measures = IncrementalMeasures(self._n, self._snapshots.current)
+        elif self._measures_keys is not target:
+            delta = CSRDelta.between(self._n, self._measures_keys, target)
+            self._measures.apply(delta, self._snapshots.current)
+        self._measures_keys = target
+        return self._measures
+
     def _apply_target(self, target_edges: np.ndarray) -> EdgeUpdate:
         """Diff the current edge set against ``target_edges`` and apply."""
-        if self._impl == "reference":
-            # Naive path: set algebra over tuple pairs, per-edge dict
-            # mutation — kept as the differential-testing twin.
-            current = self._graph.edge_set()
-            target = {(int(u), int(v)) for u, v in target_edges}
-            to_add = target - current
-            to_remove = current - target
-            added, removed = self._graph.update_edges(add=to_add, remove=to_remove)
-            self._edge_keys = pack_edge_keys(self._n, self._graph.edge_array())
-            self._synced_keys = self._edge_keys
-            self._snapshots.reset(self._edge_keys)
-            return EdgeUpdate(added=added, removed=removed)
-        # Fast path: sorted-key set differences (two compiled merges) and
-        # a CSR delta-apply into the double-buffered snapshot. The dict
-        # graph is NOT touched here — it syncs lazily on access.
-        target_keys = pack_edge_keys(self._n, np.asarray(target_edges, dtype=np.int64))
-        delta = self._snapshots.delta_to(target_keys)
-        self._snapshots.apply(delta)
-        self._edge_keys = target_keys
-        return EdgeUpdate(added=delta.added, removed=delta.removed)
+        with self._state_lock:
+            if self._impl == "reference":
+                # Naive path: set algebra over tuple pairs, per-edge dict
+                # mutation — kept as the differential-testing twin.
+                current = self._graph.edge_set()
+                target = {(int(u), int(v)) for u, v in target_edges}
+                to_add = target - current
+                to_remove = current - target
+                added, removed = self._graph.update_edges(
+                    add=to_add, remove=to_remove
+                )
+                self._edge_keys = pack_edge_keys(self._n, self._graph.edge_array())
+                self._synced_keys = self._edge_keys
+                self._snapshots.reset(self._edge_keys)
+                return EdgeUpdate(added=added, removed=removed)
+            # Fast path: sorted-key set differences (two compiled merges)
+            # and a CSR delta-apply into the double-buffered snapshot.
+            # Neither the dict graph nor the measure engine is touched
+            # here — both sync lazily on access.
+            target_keys = pack_edge_keys(
+                self._n, np.asarray(target_edges, dtype=np.int64)
+            )
+            delta = self._snapshots.delta_to(target_keys)
+            self._snapshots.apply(delta)
+            self._edge_keys = target_keys
+            return EdgeUpdate(added=delta.added, removed=delta.removed)
 
     def set_cutoff(self, cutoff: float) -> EdgeUpdate:
         """Move the cut-off slider; returns the applied edge diff."""
@@ -264,8 +371,9 @@ class DynamicRIN:
 
     def rebuild(self) -> Graph:
         """Rebuild from scratch (reference implementation for testing)."""
-        self._graph = self._builder.build(self._frame, self._cutoff)
-        self._edge_keys = pack_edge_keys(self._n, self._graph.edge_array())
-        self._synced_keys = self._edge_keys
-        self._snapshots.reset(self._edge_keys)
-        return self._graph
+        with self._state_lock:
+            self._graph = self._builder.build(self._frame, self._cutoff)
+            self._edge_keys = pack_edge_keys(self._n, self._graph.edge_array())
+            self._synced_keys = self._edge_keys
+            self._snapshots.reset(self._edge_keys)
+            return self._graph

@@ -31,8 +31,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graphkit import core_decomposition, local_clustering
-from ..graphkit.components import IncrementalUnionFind, connected_components
+from ..graphkit.components import connected_components
 from ..graphkit.csr import CSRDelta, CSRSnapshotBuffer, pack_edge_keys
+from ..graphkit.incremental import IncrementalMeasures
 from ..graphkit.kernels import sorted_contact_order
 from ..graphkit.parallel import ShardedExecutor, chunk_ranges
 from ..md.distances import residue_distance_matrix
@@ -161,8 +162,12 @@ def _descriptor_rows(
 
     The edge set at cut-off ``c`` is a prefix of the distance-sorted
     contact order, so the walk folds each cut-off's *delta* into an
-    incrementally maintained CSR snapshot and an incremental union-find:
-    per cut-off cost is sized by the delta (plus the O(n) descriptor
+    incrementally maintained CSR snapshot and a delta-aware measure
+    engine (:class:`~repro.graphkit.incremental.IncrementalMeasures`):
+    degrees and component labels advance by vectorized delta folds, and
+    core numbers carry forward too — traversal-bounded repair on small
+    prefix steps, the vectorized full peel when a step is large. Per
+    cut-off cost is sized by the delta (plus the O(n) descriptor
     reductions), never by re-accumulating the full edge set. Every
     descriptor is a pure function of the prefix edge set, which makes the
     rows independent of how a scan is split into shards.
@@ -176,27 +181,24 @@ def _descriptor_rows(
     mean_clust = np.zeros(k)
     prefix = np.searchsorted(sorted_d, cutoffs, side="right")
     snapshots = CSRSnapshotBuffer(n_res)
-    uf = IncrementalUnionFind(n_res)
+    engine = IncrementalMeasures(n_res)
     no_removals = np.empty(0, dtype=np.int64)
     prev = 0
     for i, m in enumerate(prefix):
-        delta_pairs = pairs[prev:m]
-        csr = snapshots.apply(
-            CSRDelta(
-                n_res,
-                add_keys=pack_edge_keys(n_res, delta_pairs),
-                remove_keys=no_removals,
-            )
+        delta = CSRDelta(
+            n_res,
+            add_keys=pack_edge_keys(n_res, pairs[prev:m]),
+            remove_keys=no_removals,
         )
-        uf.union_edges(delta_pairs)
+        csr = snapshots.apply(delta)
+        engine.apply(delta, csr)
         prev = m
         edges[i] = m
-        comps[i] = uf.count
+        comps[i] = engine.component_count
+        degs = engine.degrees()
         hub_counts[i] = len(hubs(csr))
-        degs = csr.degrees()
         mean_deg[i] = degs.mean() if len(degs) else 0.0
-        core = core_decomposition(csr)
-        max_core[i] = core.max() if len(core) else 0
+        max_core[i] = engine.max_core_number()
         mean_clust[i] = float(local_clustering(csr).mean()) if len(degs) else 0.0
     return edges, comps, hub_counts, mean_deg, max_core, mean_clust
 
