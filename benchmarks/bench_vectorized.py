@@ -30,7 +30,13 @@ Times every hot path that gained a CSR-kernel engine against its
   model, ``reference``) vs submitted to the debounced/cancellable
   ``AsyncUpdatePipeline`` (``vectorized``). Both timings are
   *time-to-last-consistent-frame*: the wall time until the final burst
-  state is fully published to the figures.
+  state is fully published to the figures;
+* multi-session compute placement: N concurrent process-engine widget
+  sessions (first layout + the mid-session scan view each), timed as
+  time-to-first-result across all of them — ``reference`` forks a
+  dedicated solver pool per session and a fresh scan pool per scan call
+  (the pre-service placement), ``vectorized`` leases every session from
+  the one long-lived shared ``ComputeService`` pool.
 
 Writes ``BENCH_vectorized.json`` at the repo root and prints a table.
 Run:  PYTHONPATH=src python benchmarks/bench_vectorized.py [--quick]
@@ -40,6 +46,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -61,6 +68,7 @@ from repro.graphkit.incremental import IncrementalMeasures, full_measures
 from repro.graphkit.kernels import sorted_contact_order
 from repro.graphkit.layout import maxent_stress_layout
 from repro.graphkit.parallel import ShardedExecutor
+from repro.graphkit.service import get_compute_service, shutdown_compute_service
 from repro.md.distances import residue_distance_matrix
 from repro.rin import DynamicRIN, build_rin, cutoff_scan, trajectory_cutoff_scan
 
@@ -72,6 +80,9 @@ SCAN_CUTOFFS = [3.0 + 0.5 * i for i in range(15)]
 SCAN_FRAMES = list(range(12))
 #: Pool width of the sharded-scan scenarios (the acceptance-gate knob).
 SCAN_WORKERS = 8
+#: Concurrent process-engine sessions of the multi_session scenario
+#: (the §III-B multi-user regime: one widget per hub user).
+MULTI_SESSIONS = 4
 #: The incremental-measures scenario: a fine sweep of the interactive
 #: cut-off neighbourhood (the slider's micro-move regime, where per-step
 #: edge deltas are a handful of contacts), walked over several frames.
@@ -307,6 +318,74 @@ def main() -> int:
 
         record(f"interactive_burst_{protein}", interactive_burst)
         async_pipe.close()
+
+    # Multi-session compute placement — N concurrent process-engine
+    # sessions (the §III-B regime: one widget per hub user), timed as
+    # time-to-first-result across all sessions. Each session opens a
+    # widget pipeline, publishes its first layout, and runs the widget's
+    # mid-session scan view. 'reference' is the pre-service placement:
+    # every session forks a dedicated solver pool (compute="dedicated")
+    # and every scan invocation spins up — and tears down — its own
+    # ``workers=SCAN_WORKERS`` pool. 'vectorized' leases all of it from
+    # the one long-lived shared ``ComputeService`` pool, whose single
+    # startup is paid by the warmup call. Both arms must stay
+    # bit-identical to the serial in-process twins, and the service must
+    # leave /dev/shm clean once shut down. Pinned to the smallest paper
+    # protein: the scenario measures pool lifecycle, not graph size.
+    ms_traj = protein_trajectory("2JOF")
+    ms_topo, ms_frame0 = ms_traj.topology, ms_traj.frame(0)
+    with UpdatePipeline(
+        DynamicRIN(ms_traj, frame=0, cutoff=4.5),
+        measure="Degree Centrality",
+    ) as twin:
+        twin.switch_cutoff(6.0)
+        twin_coords = twin.maxent_coordinates.copy()
+    twin_scan = cutoff_scan(ms_topo, ms_frame0, SCAN_CUTOFFS, workers=0)
+    shm_before = (
+        set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else set()
+    )
+
+    def one_session(compute):
+        pipe = UpdatePipeline(
+            DynamicRIN(ms_traj, frame=0, cutoff=4.5),
+            measure="Degree Centrality",
+            engine="process",
+            compute=compute,
+        )
+        try:
+            pipe.switch_cutoff(6.0)
+            assert np.array_equal(
+                pipe.maxent_coordinates, twin_coords
+            ), "multi_session layout diverged from the serial twin"
+            if compute == "dedicated":
+                with ShardedExecutor(workers=SCAN_WORKERS) as ex:
+                    scan = cutoff_scan(
+                        ms_topo, ms_frame0, SCAN_CUTOFFS, executor=ex
+                    )
+            else:
+                scan = cutoff_scan(
+                    ms_topo, ms_frame0, SCAN_CUTOFFS, workers=SCAN_WORKERS
+                )
+            assert np.array_equal(scan.edges, twin_scan.edges), (
+                "multi_session scan diverged from the serial twin"
+            )
+        finally:
+            pipe.close()
+
+    def multi_session(impl):
+        compute = "dedicated" if impl == "reference" else "shared"
+        if compute == "shared":
+            get_compute_service().start()
+        for _ in range(MULTI_SESSIONS):
+            one_session(compute)
+
+    record("multi_session_2JOF", multi_session)
+    shutdown_compute_service()
+    if os.path.isdir("/dev/shm"):
+        leaked = set(os.listdir("/dev/shm")) - shm_before
+        assert not leaked, (
+            f"multi_session leaked shared-memory segments: {sorted(leaked)}"
+        )
 
     # Aggregate per workload class (summed over proteins): the speedup
     # figure the acceptance gate reads, robust to tiny-protein overhead.

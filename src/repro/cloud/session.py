@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from ..core.app import RINExplorer
 from ..core.events import UpdateTiming
+from ..graphkit.service import get_compute_service
 from .cluster import Cluster
 from .jupyterhub import JupyterHub
 from .objects import Pod
@@ -62,6 +63,8 @@ class CloudSession:
         async_updates: bool = False,
         debounce_ms: float = 0.0,
         engine: str = "thread",
+        compute: str = "shared",
+        solve_budget_ms: float = 1000.0,
     ):
         self._hub = hub
         self._proxy = proxy
@@ -69,9 +72,19 @@ class CloudSession:
         self.username = username
         self._address = client_address or f"198.51.100.{abs(hash(username)) % 250}"
         self.pod: Pod = hub.login(username, password)
-        # engine="process" gives each session its own solver process — the
-        # pod-level CPU isolation story: a session's layout solves stop
-        # competing for the hub process's GIL.
+        # engine="process" moves this session's layout solves out of the
+        # hub process's GIL. With compute="shared" (default) every
+        # session's solves run on the one process-wide ComputeService —
+        # the paper's shared NetworKit backend — and this session is
+        # registered there under its username with ``solve_budget_ms`` as
+        # its fair-share weight: a user who has burned through their
+        # budget yields the queue to lighter users. compute="dedicated"
+        # restores the old pool-per-session isolation.
+        self.compute_session = None
+        if engine == "process" and compute == "shared":
+            self.compute_session = get_compute_service().session(
+                username, budget_ms=solve_budget_ms
+            )
         self.app = RINExplorer(
             protein,
             n_frames=n_frames,
@@ -79,6 +92,8 @@ class CloudSession:
             async_updates=async_updates,
             debounce_ms=debounce_ms,
             engine=engine,
+            compute=compute,
+            compute_session=self.compute_session,
         )
         self.requests: list[SessionRequest] = []
 
@@ -185,6 +200,8 @@ class CloudSession:
         try:
             self.app.close()
         finally:
+            if self.compute_session is not None:
+                self.compute_session.close()
             self._hub.logout(self.username)
 
     def mean_total_ms(self) -> float:

@@ -70,6 +70,8 @@ class RINExplorer:
         async_updates: bool = False,
         debounce_ms: float = 0.0,
         engine: str = "thread",
+        compute: str = "shared",
+        compute_session=None,
     ):
         if trajectory is None:
             topo, native = proteins.build(protein)
@@ -89,6 +91,8 @@ class RINExplorer:
             async_updates=async_updates,
             debounce_ms=debounce_ms,
             engine=engine,
+            compute=compute,
+            compute_session=compute_session,
         )
 
     def replay(self, script: SessionScript) -> list[UpdateTiming]:

@@ -60,9 +60,15 @@ class RINWidget:
         Async-mode debounce window before each solve (coalesces bursts).
     engine:
         Where layout solves run: ``"thread"`` (default, in-process) or
-        ``"process"`` (a dedicated worker process per widget, so
-        concurrent cloud sessions escape the GIL; see
-        :class:`UpdatePipeline`). Applies to both sync and async modes.
+        ``"process"`` (a worker process, so concurrent cloud sessions
+        escape the GIL; see :class:`UpdatePipeline`). Applies to both
+        sync and async modes.
+    compute / compute_session:
+        Process-engine placement (see :class:`UpdatePipeline`):
+        ``"shared"`` (default) solves on the process-wide compute
+        service — optionally under a budgeted
+        :class:`~repro.graphkit.service.ComputeSession` — while
+        ``"dedicated"`` keeps a private per-widget pool.
     """
 
     def __init__(
@@ -79,6 +85,8 @@ class RINWidget:
         async_updates: bool = False,
         debounce_ms: float = 0.0,
         engine: str = "thread",
+        compute: str = "shared",
+        compute_session=None,
     ):
         self._trajectory = trajectory
         rin = DynamicRIN(
@@ -96,11 +104,18 @@ class RINWidget:
                     debounce_ms=debounce_ms,
                     on_result=self._on_async_result,
                     engine=engine,
+                    compute=compute,
+                    compute_session=compute_session,
                 )
             )
         else:
             self._pipeline = UpdatePipeline(
-                rin, measure=measure, client=client, engine=engine
+                rin,
+                measure=measure,
+                client=client,
+                engine=engine,
+                compute=compute,
+                compute_session=compute_session,
             )
 
         # --- controls (Figure 5 bottom row) --------------------------------

@@ -32,8 +32,22 @@ from .distance import (
 from .graph import Graph
 from .incremental import IncrementalMeasures, canonical_components, full_measures
 from .parallel import get_num_threads, set_num_threads
+from .service import (
+    ComputeService,
+    ComputeSession,
+    ServiceExecutor,
+    configure_compute_service,
+    get_compute_service,
+    shutdown_compute_service,
+)
 
 __all__ = [
+    "ComputeService",
+    "ComputeSession",
+    "ServiceExecutor",
+    "configure_compute_service",
+    "get_compute_service",
+    "shutdown_compute_service",
     "Graph",
     "CSRGraph",
     "CSRDelta",

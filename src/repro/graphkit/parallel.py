@@ -169,27 +169,46 @@ def effective_workers() -> int:
 
 # Per-worker-process cache of attached shared-memory segments, keyed by
 # segment name. Attaching is a namespace lookup + mmap; caching it makes
-# repeated shards over the same frozen dataset genuinely zero-copy and
-# keeps the segment mapped for the numpy views handed to shard functions.
-# Bounded FIFO: long-lived pools see a fresh segment per scan, so evict
-# the oldest entries past the cap — dropping the cache reference lets the
-# mapping close once no in-flight shard still holds the view (the numpy
-# view keeps the buffer alive until then; nothing is closed explicitly).
+# repeated shards over the same frozen dataset genuinely zero-copy.
+# Bounded LRU: a long-lived worker sees a fresh segment per scan, so the
+# cache would otherwise grow one mapping (plus one fd) per dataset for
+# the life of the pool. Entries past the cap are evicted
+# least-recently-used. Eviction only drops the *cache's* reference: each
+# mapping's lifetime is tied to its numpy view by a finalizer (closing
+# an attached ``SharedMemory`` unmaps the pages immediately — numpy does
+# not keep the buffer exported, so an eager close under an in-flight
+# shard would be a use-after-unmap). The mapping and its fd are released
+# the moment the last view reference dies — whether that is the cache
+# entry or a shard mid-job.
 _ATTACH_CACHE_CAP = 32
-_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+_ATTACHED: dict[str, np.ndarray] = {}
+
+
+def _attach_cache_cap() -> int:
+    env = os.environ.get("REPRO_ATTACH_CACHE")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return max(1, _ATTACH_CACHE_CAP)
 
 
 def _attached_view(name: str, shape: tuple, dtype: str) -> np.ndarray:
     cached = _ATTACHED.get(name)
-    if cached is None:
-        shm = shared_memory.SharedMemory(name=name)
-        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
-        view.flags.writeable = False
-        while len(_ATTACHED) >= _ATTACH_CACHE_CAP:
-            _ATTACHED.pop(next(iter(_ATTACHED)))
-        _ATTACHED[name] = (shm, view)
-        return view
-    return cached[1]
+    if cached is not None:
+        # LRU touch: pop + reinsert moves the entry to the young end.
+        _ATTACHED[name] = _ATTACHED.pop(name)
+        return cached
+    shm = shared_memory.SharedMemory(name=name)
+    view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+    view.flags.writeable = False
+    weakref.finalize(view, _close_attached, shm)
+    cap = _attach_cache_cap()
+    while len(_ATTACHED) >= cap:
+        _ATTACHED.pop(next(iter(_ATTACHED)))
+    _ATTACHED[name] = view
+    return view
 
 
 class SharedDataset:
@@ -255,6 +274,32 @@ def _release_segments(segments: list[shared_memory.SharedMemory]) -> None:
             pass
 
 
+def _close_attached(shm: shared_memory.SharedMemory) -> None:
+    """Close (never unlink) a mapping attached in a receiving process."""
+    try:
+        shm.close()
+    except (BufferError, OSError):  # pragma: no cover - exiting anyway
+        pass
+
+
+def _close_resources(resources: list) -> None:
+    """Close every tracked dataset/flag; one failure never strands the rest."""
+    pending, resources[:] = list(resources), []
+    for res in pending:
+        try:
+            res.close()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+
+
+def _reap_executor_state(state: dict) -> None:
+    """Finalizer for an executor dropped without close(): free everything."""
+    pool, state["pool"] = state["pool"], None
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+    _close_resources(state["resources"])
+
+
 class SharedCancelFlag:
     """One shared byte: the cross-process cancellation token.
 
@@ -279,6 +324,10 @@ class SharedCancelFlag:
         self._shm = shared_memory.SharedMemory(name=name)
         self._owner = False
         self._closed = False
+        # Every unpickle maps the segment anew: without a finalizer a
+        # long-lived worker would accumulate one mapping per received job
+        # for the life of the pool. Close-only — unlinking is the owner's.
+        weakref.finalize(self, _close_attached, self._shm)
 
     def set(self) -> None:
         """Raise the flag (cancel in-flight shards)."""
@@ -354,9 +403,22 @@ class ShardedExecutor:
         if self._workers < 0:
             raise ValueError(f"workers must be >= 0, got {self._workers}")
         self._start_method = start_method
-        self._pool: ProcessPoolExecutor | None = None
-        self._datasets: list[SharedDataset] = []
+        # Pool + tracked resources live in one mutable state dict shared
+        # with a weakref finalizer: an executor that is dropped without
+        # close() (or dies with the process) still shuts its pool down and
+        # unlinks every segment it shared — the no-leak backstop for
+        # sessions that never reach their close().
+        self._state: dict = {"pool": None, "resources": []}
         self._closed = False
+        self._finalizer = weakref.finalize(self, _reap_executor_state, self._state)
+
+    @property
+    def _pool(self) -> ProcessPoolExecutor | None:
+        return self._state["pool"]
+
+    @property
+    def _datasets(self) -> list:
+        return self._state["resources"]
 
     # ------------------------------------------------------------------
     @property
@@ -368,6 +430,11 @@ class ShardedExecutor:
     def serial(self) -> bool:
         """True when shards run in-process (no pool)."""
         return self._workers == 0
+
+    @property
+    def started(self) -> bool:
+        """Whether a live worker pool currently exists."""
+        return self._state["pool"] is not None
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -383,10 +450,10 @@ class ShardedExecutor:
                 or os.environ.get("REPRO_START_METHOD")
                 or ("fork" if os.name == "posix" else "spawn")
             )
-            self._pool = ProcessPoolExecutor(
+            self._state["pool"] = ProcessPoolExecutor(
                 max_workers=self._workers, mp_context=get_context(method)
             )
-        return self._pool
+        return self._state["pool"]
 
     def start(self) -> "ShardedExecutor":
         """Create the worker pool now instead of on first use.
@@ -422,9 +489,11 @@ class ShardedExecutor:
 
     def _track(self, resource) -> None:
         # Prune resources the caller already closed so a warm executor
-        # reused across thousands of scans keeps a bounded ledger.
-        self._datasets = [d for d in self._datasets if not d.closed]
-        self._datasets.append(resource)
+        # reused across thousands of scans keeps a bounded ledger. The
+        # list object itself is stable (the finalizer holds it).
+        resources = self._state["resources"]
+        resources[:] = [d for d in resources if not d.closed]
+        resources.append(resource)
 
     def run(
         self,
@@ -475,15 +544,36 @@ class ShardedExecutor:
         return self._ensure_pool().submit(_run_shard, (fn, payload, specs))
 
     # ------------------------------------------------------------------
+    def restart(self) -> None:
+        """Replace a (possibly broken) pool with a fresh one.
+
+        Called by crash-recovery paths (:class:`~repro.graphkit.service.
+        ComputeService`) after a worker died: the broken pool is discarded
+        without waiting and the next dispatch forks a new one. Shared
+        datasets are untouched — segments outlive workers, and fresh
+        workers re-attach by name.
+        """
+        if self._closed:
+            raise RuntimeError("executor is closed")
+        pool, self._state["pool"] = self._state["pool"], None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
     def close(self) -> None:
-        """Shut the pool down and unlink every shared segment (idempotent)."""
+        """Shut the pool down and unlink every shared segment.
+
+        Idempotent and tolerant of partial failure: a dataset whose
+        segment is already gone (worker died before detach, an earlier
+        close interrupted mid-way) never strands the remaining resources
+        or the pool shutdown.
+        """
         self._closed = True
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
-        for ds in self._datasets:
-            ds.close()
-        self._datasets = []
+        pool, self._state["pool"] = self._state["pool"], None
+        try:
+            if pool is not None:
+                pool.shutdown(wait=True)
+        finally:
+            _close_resources(self._state["resources"])
 
     def __enter__(self) -> "ShardedExecutor":
         return self

@@ -27,6 +27,7 @@ labels are independent of shard boundaries.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -36,6 +37,7 @@ from ..graphkit.csr import CSRDelta, CSRSnapshotBuffer, pack_edge_keys
 from ..graphkit.incremental import IncrementalMeasures
 from ..graphkit.kernels import sorted_contact_order
 from ..graphkit.parallel import ShardedExecutor, chunk_ranges
+from ..graphkit.service import get_compute_service
 from ..md.distances import residue_distance_matrix
 from ..md.topology import Topology
 from .analysis import hubs
@@ -263,13 +265,23 @@ def _validated_cutoffs(cutoffs: np.ndarray | list[float]) -> np.ndarray:
     return cutoffs
 
 
-def _resolve_executor(
-    workers: int | None, executor: ShardedExecutor | None
-) -> tuple[ShardedExecutor, bool]:
-    """The executor to scan with, and whether this call owns (closes) it."""
+def _resolve_executor(workers: int | None, executor) -> tuple[Any, bool]:
+    """The executor to scan with, and whether this call owns (closes) it.
+
+    ``workers=0`` is the serial in-process twin (no pool, no shared-memory
+    placement). Any ``workers > 0`` (or ``None``) takes a **lease** on the
+    process-wide :class:`~repro.graphkit.service.ComputeService` instead
+    of spawning a dedicated pool: repeated scans — even in tight loops —
+    reuse one warm worker pool, and "owning" the executor only means
+    releasing the lease's datasets afterwards, never tearing the pool
+    down. Passing ``executor=`` (a ``ShardedExecutor`` or another lease)
+    bypasses the service entirely.
+    """
     if executor is not None:
         return executor, False
-    return ShardedExecutor(workers), True
+    if workers == 0:
+        return ShardedExecutor(0), True
+    return get_compute_service().lease(workers), True
 
 
 def fan_out_frames(
@@ -279,7 +291,7 @@ def fan_out_frames(
     payload_tail: tuple,
     *,
     workers: int | None,
-    executor: ShardedExecutor | None,
+    executor: Any | None,
 ) -> list:
     """Run a frame-axis shard function over contiguous frame blocks.
 
@@ -314,7 +326,7 @@ def scan_sorted_contacts(
     sorted_d: np.ndarray,
     cutoffs: np.ndarray,
     *,
-    executor: ShardedExecutor,
+    executor: Any,
 ) -> tuple[np.ndarray, ...]:
     """Sharded descriptor sweep over a precomputed sorted contact order.
 
@@ -345,7 +357,7 @@ def cutoff_scan(
     criterion: DistanceCriterion | str = DistanceCriterion.MINIMUM,
     impl: str = "vectorized",
     workers: int | None = 0,
-    executor: ShardedExecutor | None = None,
+    executor: Any | None = None,
 ) -> CutoffScan:
     """Sweep cut-offs and collect topology descriptors for one frame.
 
@@ -396,7 +408,7 @@ def trajectory_cutoff_scan(
     frames: np.ndarray | list[int] | None = None,
     criterion: DistanceCriterion | str = DistanceCriterion.MINIMUM,
     workers: int | None = 0,
-    executor: ShardedExecutor | None = None,
+    executor: Any | None = None,
 ) -> TrajectoryScan:
     """Cut-off scans across trajectory frames, fanned out over the pool.
 

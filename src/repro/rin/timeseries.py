@@ -120,7 +120,7 @@ def measure_over_trajectory(
     criterion: DistanceCriterion | str = DistanceCriterion.MINIMUM,
     frames: np.ndarray | None = None,
     workers: int | None = 0,
-    executor: ShardedExecutor | None = None,
+    executor: Any | None = None,
 ) -> MeasureSeries:
     """Compute one measure on the RIN of every (selected) frame.
 
@@ -156,7 +156,7 @@ def topology_over_trajectory(
     *,
     criterion: DistanceCriterion | str = DistanceCriterion.MINIMUM,
     workers: int | None = 0,
-    executor: ShardedExecutor | None = None,
+    executor: Any | None = None,
 ) -> dict[str, np.ndarray]:
     """Per-frame topology summaries: edges, components, mean degree,
     max coreness.

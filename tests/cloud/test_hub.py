@@ -237,6 +237,38 @@ class TestCloudSession:
         with pytest.raises(RuntimeError):
             session.switch_cutoff(5.0)
 
+    def test_process_engine_registers_budgeted_compute_session(self, stack):
+        from repro.graphkit.service import (
+            get_compute_service,
+            shutdown_compute_service,
+        )
+
+        shutdown_compute_service()
+        cluster, hub, proxy = stack
+        hub.register_user("iris", "pw")
+        session = CloudSession(
+            hub, proxy, "iris", "pw", protein="2JOF", n_frames=5,
+            engine="process", solve_budget_ms=250.0,
+        )
+        cluster.clock.advance(30)
+        try:
+            service = get_compute_service()
+            assert session.compute_session is service.sessions()["iris"]
+            assert session.compute_session.budget_ms == 250.0
+            session.switch_cutoff(6.0)
+            # the session's solves were charged against its budget
+            assert session.compute_session.spent_ms > 0.0
+            assert service.stats.pools_started == 1
+        finally:
+            session.close()
+            shutdown_compute_service()
+        assert session.compute_session.closed
+
+    def test_thread_engine_needs_no_compute_session(self, stack):
+        session = self.make_session(stack, name="theo")
+        assert session.compute_session is None
+        session.close()
+
     def test_throttled_pod_slows_down(self, stack):
         from repro.cloud import Resources
 

@@ -1,12 +1,44 @@
-"""Shared fixtures: small canonical graphs and protein trajectories."""
+"""Shared fixtures: small canonical graphs and protein trajectories,
+plus the suite-wide shared-memory leak gate."""
 
 from __future__ import annotations
+
+import gc
+import os
 
 import networkx as nx
 import pytest
 
 from repro.graphkit import Graph
 from repro.md import generate_trajectory, proteins
+
+_SHM_DIR = "/dev/shm"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _shared_memory_leak_gate():
+    """Fail the suite if any test leaves a shared-memory segment behind.
+
+    Snapshot ``/dev/shm`` before the session; after the last test, shut
+    the process-wide compute service down (its ``atexit`` hook would
+    otherwise only run after this check) and assert nothing new remains
+    — every ``SharedDataset``, ``SharedCancelFlag`` and pool a test
+    created must be gone, whether it was closed explicitly or reaped by
+    a finalizer.
+    """
+    if not os.path.isdir(_SHM_DIR):  # non-Linux fallback: nothing to gate
+        yield
+        return
+    before = set(os.listdir(_SHM_DIR))
+    yield
+    from repro.graphkit.service import shutdown_compute_service
+
+    shutdown_compute_service()
+    gc.collect()  # run pending SharedDataset/flag finalizers
+    leaked = set(os.listdir(_SHM_DIR)) - before
+    assert not leaked, (
+        f"test suite leaked shared-memory segments: {sorted(leaked)}"
+    )
 
 
 @pytest.fixture(scope="session")

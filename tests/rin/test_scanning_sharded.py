@@ -13,7 +13,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.graphkit import service as service_mod
 from repro.graphkit.parallel import ShardedExecutor
+from repro.graphkit.service import (
+    configure_compute_service,
+    get_compute_service,
+    shutdown_compute_service,
+)
 from repro.md.topology import Topology
 from repro.md.trajectory import Trajectory
 from repro.rin import (
@@ -107,6 +113,40 @@ class TestCutoffScanShardDeterminism:
                 assert_scans_identical(
                     cutoff_scan(topo, coords, CUTOFFS, executor=ex), serial
                 )
+
+
+class TestScanServiceReuse:
+    """Regression: scans must never spawn a pool per invocation again."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_service(self):
+        shutdown_compute_service()
+        yield
+        shutdown_compute_service()
+
+    def test_repeated_scans_spawn_no_new_pool(self, a3d_traj):
+        svc = configure_compute_service(workers=2)
+        topo, coords = a3d_traj.topology, a3d_traj.frame(0)
+        serial = cutoff_scan(topo, coords, CUTOFFS, workers=0)
+        for _ in range(3):
+            assert_scans_identical(
+                cutoff_scan(topo, coords, CUTOFFS, workers=2), serial
+            )
+        trajectory_cutoff_scan(a3d_traj, CUTOFFS, frames=range(4), workers=2)
+        assert get_compute_service() is svc
+        assert svc.stats.pools_started == 1  # one warm pool for everything
+        assert svc.stats.jobs_completed >= 4
+
+    def test_serial_scan_never_creates_a_service(self, a3d_traj):
+        topo, coords = a3d_traj.topology, a3d_traj.frame(0)
+        cutoff_scan(topo, coords, CUTOFFS, workers=0)
+        assert service_mod._GLOBAL is None
+
+    def test_explicit_executor_bypasses_service(self, a3d_traj):
+        topo, coords = a3d_traj.topology, a3d_traj.frame(0)
+        with ShardedExecutor(workers=2) as ex:
+            cutoff_scan(topo, coords, CUTOFFS, executor=ex)
+        assert service_mod._GLOBAL is None
 
 
 class TestTrajectoryScanShardDeterminism:
