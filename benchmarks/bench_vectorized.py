@@ -36,7 +36,14 @@ Times every hot path that gained a CSR-kernel engine against its
   time-to-first-result across all of them — ``reference`` forks a
   dedicated solver pool per session and a fresh scan pool per scan call
   (the pre-service placement), ``vectorized`` leases every session from
-  the one long-lived shared ``ComputeService`` pool.
+  the one long-lived shared ``ComputeService`` pool;
+* cloud scale: the seeded 10x arrival spike from the autoscaler
+  acceptance scenario (``cloud_scale``) — ``reference`` replays >=2000
+  simulated widget sessions against a static 4-worker cluster,
+  ``vectorized`` against the same cluster under the closed-loop
+  detect->propose->verify autoscaler; the recorded "ms" numbers are the
+  *simulated* post-ramp window p99s (deterministic from the seed), and a
+  sessions-vs-p99 curve over spike rates lands under the ``cloud`` key.
 
 Writes ``BENCH_vectorized.json`` at the repo root and prints a table.
 Run:  PYTHONPATH=src python benchmarks/bench_vectorized.py [--quick]
@@ -55,6 +62,14 @@ from pathlib import Path
 import numpy as np
 
 from repro.bench import PAPER_HIGH_CUTOFF, PAPER_PROTEINS, protein_trajectory
+from repro.cloud import (
+    DEFAULT_MIX,
+    BurstArrivals,
+    LoadGenConfig,
+    LoadHarness,
+    SLOConfig,
+)
+from repro.cloud.metrics import percentile as cloud_percentile
 from repro.core import AsyncUpdatePipeline, UpdatePipeline
 from repro.graphkit import Graph
 from repro.graphkit.centrality import (
@@ -387,6 +402,82 @@ def main() -> int:
             f"multi_session leaked shared-memory segments: {sorted(leaked)}"
         )
 
+    # Cloud-scale autoscaler scenario: the same seeded 10x arrival spike
+    # replayed through the full hub->proxy->pod path twice — once on the
+    # static 4-worker cluster (``reference``) and once with the
+    # closed-loop autoscaler (``vectorized``). The metric is the
+    # *simulated* post-ramp window p99 in ms, not wall time, so the
+    # numbers are bit-identical across hosts and ``--quick``; the gate
+    # tolerance therefore only guards behavioural regressions.
+    CLOUD_SEED = 42
+    CLOUD_SLO_MS = 700.0
+    CLOUD_WINDOW = (180.0, 280.0)  # post-ramp: scale-up had time to land
+    cloud_rates = [10.0] if args.quick else [2.5, 5.0, 10.0]
+
+    def cloud_arm(rate, autoscale):
+        arrivals = BurstArrivals(
+            ((60.0, 1.0), (220.0, rate), (60.0, 0.0001)), seed=CLOUD_SEED
+        )
+        auto_kwargs = (
+            dict(
+                slo=SLOConfig(p99_target_ms=CLOUD_SLO_MS, max_workers=32),
+                node_startup_s=12.0,
+                reconcile_every_s=10.0,
+                drain_grace_s=120.0,
+            )
+            if autoscale
+            else {}
+        )
+        report = LoadHarness(
+            arrivals,
+            DEFAULT_MIX,
+            seed=CLOUD_SEED,
+            config=LoadGenConfig(workers=4),
+            autoscale=autoscale,
+            **auto_kwargs,
+        ).run()
+        lo, hi = CLOUD_WINDOW
+        samples = [
+            e.latency_ms
+            for e in report.recorder.events(since=lo)
+            if e.time <= hi
+        ]
+        p99 = cloud_percentile(samples, 99) if samples else float("inf")
+        return report, p99
+
+    cloud_curve = []
+    for rate in cloud_rates:
+        static_report, static_p99 = cloud_arm(rate, autoscale=False)
+        auto_report, auto_p99 = cloud_arm(rate, autoscale=True)
+        cloud_curve.append(
+            {
+                "spike_rate_per_s": rate,
+                "sessions": static_report.sessions,
+                "static_p99_ms": round(static_p99, 3),
+                "autoscaled_p99_ms": round(auto_p99, 3),
+                "static_gave_up": static_report.gave_up,
+                "autoscaled_gave_up": auto_report.gave_up,
+            }
+        )
+        if rate == 10.0:
+            results["cloud_scale_spike"] = {
+                "reference_ms": round(static_p99, 3),
+                "vectorized_ms": round(auto_p99, 3),
+                "speedup": round(static_p99 / auto_p99, 2),
+            }
+    cloud = {
+        "scenario": {
+            "seed": CLOUD_SEED,
+            "slo_p99_ms": CLOUD_SLO_MS,
+            "window_s": list(CLOUD_WINDOW),
+            "phases": "60s @ 1/s -> 220s @ rate -> 60s quiet",
+            "workers": 4,
+            "max_workers": 32,
+            "metric": "simulated window p99 (ms), deterministic from seed",
+        },
+        "curve": cloud_curve,
+    }
+
     # Aggregate per workload class (summed over proteins): the speedup
     # figure the acceptance gate reads, robust to tiny-protein overhead.
     classes: dict[str, dict[str, float]] = {}
@@ -415,7 +506,13 @@ def main() -> int:
     )
     out_path.write_text(
         json.dumps(
-            {"host": host, "workloads": results, "aggregates": classes}, indent=2
+            {
+                "host": host,
+                "workloads": results,
+                "aggregates": classes,
+                "cloud": cloud,
+            },
+            indent=2,
         )
         + "\n"
     )

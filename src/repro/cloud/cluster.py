@@ -125,7 +125,13 @@ class Cluster:
         self._record("NodeNotReady", name, "node marked not ready")
         for ns in self.namespaces.values():
             for pod in list(ns.pods.values()):
-                if pod.node == name and pod.phase is PodPhase.RUNNING:
+                # Placed-but-still-PENDING pods (startup in flight) must be
+                # evicted too — they hold a node pointer whose allocation
+                # is zeroed below, and leaving it dangling double-releases
+                # on delete.
+                if pod.node == name and pod.phase in (
+                    PodPhase.RUNNING, PodPhase.PENDING
+                ):
                     pod.phase = PodPhase.PENDING
                     pod.node = None
                     self._record(
@@ -142,6 +148,64 @@ class Cluster:
         self._record("NodeReady", name, "node recovered")
         if self.control_plane_available():
             self.scheduler.reconcile()
+
+    # ------------------------------------------------------------------
+    # elastic capacity (the autoscaler's commit surface)
+    # ------------------------------------------------------------------
+    def add_node(
+        self, node: Node, *, startup_seconds: float = 0.0
+    ) -> Node:
+        """Provision a new node; it joins ready after ``startup_seconds``.
+
+        Models the cloud-provider VM boot + kubelet join delay the
+        autoscaler must ride out: the node is registered immediately but
+        only becomes schedulable once the delay elapses (a reconcile runs
+        then, so backlogged pending pods land on it without further
+        prodding).
+        """
+        self._require_control_plane()
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        if startup_seconds > 0:
+            node.ready = False
+        self.nodes[node.name] = node
+        self._record("NodeProvisioning", node.name, "node joining cluster")
+        if startup_seconds > 0:
+            self.clock.schedule(
+                startup_seconds, lambda: self.recover_node(node.name)
+            )
+        else:
+            self._record("NodeReady", node.name, "node joined ready")
+            self.scheduler.reconcile()
+        return node
+
+    def remove_node(self, name: str, *, force: bool = False) -> None:
+        """Deprovision a node; it must be drained first unless ``force``.
+
+        With ``force`` any remaining pods are evicted back to Pending
+        (the fail-node path); without it a populated node is refused so
+        the autoscaler cannot silently kill sessions — its verifier must
+        have produced a drain plan first.
+        """
+        self._require_control_plane()
+        node = self.nodes.get(name)
+        if node is None:
+            raise KeyError(f"node {name!r} not found")
+        resident = [
+            pod
+            for ns in self.namespaces.values()
+            for pod in ns.pods.values()
+            if pod.node == name
+        ]
+        if resident and not force:
+            raise RuntimeError(
+                f"node {name!r} still hosts {len(resident)} pod(s); "
+                "drain it first or pass force=True"
+            )
+        if resident:
+            self.fail_node(name)
+        del self.nodes[name]
+        self._record("NodeRemoved", name, "node deprovisioned")
 
     # ------------------------------------------------------------------
     # namespaced objects

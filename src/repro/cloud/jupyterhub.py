@@ -27,8 +27,34 @@ from .objects import (
     ServiceAccount,
 )
 from .resources import PAPER_INSTANCE_LIMIT, Resources
+from .scheduler import Unschedulable
 
-__all__ = ["HubConfig", "NativeAuthenticator", "KubeSpawner", "JupyterHub"]
+__all__ = [
+    "HubConfig",
+    "NativeAuthenticator",
+    "KubeSpawner",
+    "JupyterHub",
+    "AdmissionDeferred",
+]
+
+
+class AdmissionDeferred(Exception):
+    """HTTP-429-style login deferral: come back in ``retry_after_s``.
+
+    Raised *instead of* spawning when admission control decides the
+    cluster cannot take another user pod right now. Unlike a spawn
+    failure nothing was created — the caller retries the same login
+    after the hint and the hub keeps serving existing sessions.
+    """
+
+    status = 429
+
+    def __init__(self, retry_after_s: float, reason: str):
+        super().__init__(
+            f"admission deferred ({reason}); retry after {retry_after_s:g}s"
+        )
+        self.retry_after_s = float(retry_after_s)
+        self.reason = reason
 
 
 @dataclass
@@ -45,6 +71,12 @@ class HubConfig:
     pull_secret: str = "hub-secret-vault"
     service_path: str = "/service-path"
     host: str = "nwk-service.domain.com"
+    #: When True, a login that cannot schedule defers with a 429-style
+    #: :class:`AdmissionDeferred` instead of surfacing the spawner's
+    #: :class:`~repro.cloud.scheduler.Unschedulable`.
+    admission_control: bool = False
+    #: Retry hint handed to deferred logins (seconds).
+    admission_retry_after_s: float = 15.0
 
 
 class NativeAuthenticator:
@@ -85,7 +117,18 @@ class KubeSpawner:
         return f"jupyter-{username}"
 
     def spawn(self, username: str) -> Pod:
-        """Create the user's notebook pod (RBAC enforced via the SA)."""
+        """Create the user's notebook pod (RBAC enforced via the SA).
+
+        Raises the scheduler's typed
+        :class:`~repro.cloud.scheduler.Unschedulable` when no worker can
+        fit the instance request — *before* creating anything, so a
+        refused spawn leaves no forever-pending pod behind. (Previously
+        the pod was created anyway and the failure only surfaced later
+        as a bare ``RuntimeError`` when the session touched it.)
+        """
+        # Dry-run feasibility first: surfaces the typed outcome and its
+        # per-node reasons to admission control.
+        self._cluster.scheduler.placement_for(self._config.instance_request)
         pod = Pod(
             name=self.pod_name(username),
             namespace=self._namespace,
@@ -134,6 +177,9 @@ class JupyterHub:
         self.namespace_name = namespace or self.NAMESPACE
         self.authenticator = NativeAuthenticator()
         self._active: dict[str, Pod] = {}
+        #: (time, username) log of 429-style admission deferrals — the
+        #: autoscaler's detector reads this as a saturation signal.
+        self.deferrals: list[tuple[float, str]] = []
         self._deploy()
 
     @property
@@ -223,12 +269,28 @@ class JupyterHub:
         }
 
     def login(self, username: str, password: str) -> Pod:
-        """Authenticate and spawn (or reuse) the user's notebook pod."""
+        """Authenticate and spawn (or reuse) the user's notebook pod.
+
+        With ``config.admission_control`` on, a login the cluster cannot
+        place is *deferred*, not failed: the hub raises
+        :class:`AdmissionDeferred` (429 + retry-after) and records the
+        deferral, leaving no pod behind. Without admission control the
+        spawner's typed :class:`~repro.cloud.scheduler.Unschedulable`
+        propagates to the caller.
+        """
         if not self.authenticator.authenticate(username, password):
             raise PermissionError(f"authentication failed for {username!r}")
         if username in self._active:
             return self._active[username]
-        pod = self.spawner.spawn(username)
+        try:
+            pod = self.spawner.spawn(username)
+        except Unschedulable as outcome:
+            if not self.config.admission_control:
+                raise
+            self.deferrals.append((self._cluster.clock.now, username))
+            raise AdmissionDeferred(
+                self.config.admission_retry_after_s, outcome.reason
+            ) from outcome
         self._active[username] = pod
         # Per-user service + route (prefix routing to the user pod).
         self._cluster.create_service(
@@ -261,6 +323,20 @@ class JupyterHub:
     def active_users(self) -> list[str]:
         """Users with live pods."""
         return list(self._active)
+
+    def deferrals_since(self, t: float) -> int:
+        """Admission deferrals recorded at or after ``t`` (detector feed)."""
+        return sum(1 for when, _ in self.deferrals if when >= t)
+
+    def waiting_users(self, since: float) -> list[str]:
+        """Users deferred at/after ``since`` who *still* have no pod.
+
+        The autoscaler sizes scale-ups from this, not the raw deferral
+        count — a user deferred three times then admitted is satisfied
+        demand, not three pods of missing capacity.
+        """
+        deferred = {u for when, u in self.deferrals if when >= since}
+        return sorted(deferred - set(self._active))
 
     def user_pod(self, username: str) -> Pod:
         """The user's notebook pod."""

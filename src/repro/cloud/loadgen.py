@@ -1,0 +1,723 @@
+"""Seeded load harness: thousands of simulated users through the stack.
+
+The paper benchmarks one user's widget; its cloud claim — "another
+namespace … can be created", workers "should always scale with the
+desired use case" — is a *multi-tenant* claim that a single session can't
+test. This module generates seeded arrival processes (Poisson or
+piecewise bursts), drives every simulated session through the real
+hub→proxy→pod path (``JupyterHub.login`` spawn, admission control,
+:class:`~repro.cloud.proxy.ServiceProxy` routing, scheduler placement)
+on the shared :class:`~repro.cloud.simclock.SimClock`, and records every
+interaction into the percentile layer
+(:class:`~repro.cloud.metrics.LatencyRecorder` +
+:class:`~repro.cloud.metrics.UtilizationTimeline`).
+
+Two session modes:
+
+* ``modeled`` (default, scales to thousands): each interaction's
+  server-side cost comes from a deterministic cost model — the class's
+  unloaded base cost times a *contention* slowdown from the
+  :class:`NodeLoadTracker` (concurrently active CPU demand on the pod's
+  node over node capacity). Requests-based packing never oversubscribes
+  a node's *allocation*, so this demand-based model is what makes dense
+  packing actually hurt — and pod rebalancing onto fresh nodes actually
+  help — closing the autoscaler's loop.
+* ``widget`` (small N): each session owns a real
+  :class:`~repro.cloud.session.CloudSession` running the actual
+  RINExplorer pipeline; latencies are real measured milliseconds.
+
+Determinism contract: same seed → bit-identical
+:meth:`LoadReport.trace` across processes (all randomness flows from
+``numpy.random.default_rng((seed, i))``; routing hashes are crc32; the
+clock is simulated).
+
+Run the tier-1 smoke directly::
+
+    PYTHONPATH=src python -m repro.cloud.loadgen --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .autoscaler import Autoscaler, SLOConfig
+from .cluster import Cluster, build_paper_cluster
+from .jupyterhub import AdmissionDeferred, HubConfig, JupyterHub
+from .metrics import LatencyRecorder, LatencySummary, UtilizationTimeline
+from .proxy import RoutingError, ServiceProxy
+from .resources import Resources
+from .scheduler import Scheduler, Unschedulable
+from .simclock import SimClock
+
+__all__ = [
+    "PoissonArrivals",
+    "BurstArrivals",
+    "InteractionSpec",
+    "InteractionMix",
+    "DEFAULT_MIX",
+    "QUICK_MIX",
+    "NodeLoadTracker",
+    "SessionOutcome",
+    "LoadReport",
+    "LoadGenConfig",
+    "LoadHarness",
+    "run_smoke",
+    "main",
+]
+
+
+# ----------------------------------------------------------------------
+# arrival processes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PoissonArrivals:
+    """Homogeneous Poisson arrivals: exponential inter-arrival gaps."""
+
+    rate_per_s: float
+    duration_s: float
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.rate_per_s <= 0:
+            raise ValueError("rate_per_s must be positive")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+
+    def times(self) -> list[float]:
+        """Arrival timestamps in [0, duration); same seed → same list."""
+        rng = np.random.default_rng(self.seed)
+        out: list[float] = []
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / self.rate_per_s))
+            if t >= self.duration_s:
+                return out
+            out.append(t)
+
+
+@dataclass(frozen=True)
+class BurstArrivals:
+    """Piecewise-constant-rate arrivals: ``phases`` of (duration, rate).
+
+    A rate of 0 models a quiet phase. One generator spans all phases, so
+    the whole trace is a function of the single seed.
+    """
+
+    phases: tuple[tuple[float, float], ...]
+    seed: int = 0
+
+    def __post_init__(self):
+        if not self.phases:
+            raise ValueError("need at least one phase")
+        for duration, rate in self.phases:
+            if duration <= 0:
+                raise ValueError("phase durations must be positive")
+            if rate < 0:
+                raise ValueError("phase rates must be non-negative")
+
+    @property
+    def duration_s(self) -> float:
+        return sum(d for d, _ in self.phases)
+
+    def times(self) -> list[float]:
+        """Arrival timestamps across all phases; same seed → same list."""
+        rng = np.random.default_rng(self.seed)
+        out: list[float] = []
+        offset = 0.0
+        for duration, rate in self.phases:
+            if rate > 0:
+                t = 0.0
+                while True:
+                    t += float(rng.exponential(1.0 / rate))
+                    if t >= duration:
+                        break
+                    out.append(offset + t)
+            offset += duration
+        return out
+
+
+# ----------------------------------------------------------------------
+# interaction mixes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class InteractionSpec:
+    """One interaction class: unloaded cost + CPU demand while active."""
+
+    name: str
+    base_ms: float  # server-side cost with zero contention
+    demand: Resources  # CPU actively burned while the interaction runs
+    client_ms: float  # browser-side share (never contended)
+    weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class InteractionMix:
+    """A weighted population of interaction classes + pacing."""
+
+    name: str
+    specs: tuple[InteractionSpec, ...]
+    think_s: tuple[float, float]  # uniform think-time range between actions
+    interactions_per_session: int
+
+    def __post_init__(self):
+        if not self.specs:
+            raise ValueError("mix needs at least one interaction class")
+        if self.interactions_per_session < 1:
+            raise ValueError("interactions_per_session must be >= 1")
+
+    def pick(self, rng: np.random.Generator) -> InteractionSpec:
+        """Draw one class, weight-proportionally, from the session's rng."""
+        weights = np.array([s.weight for s in self.specs], dtype=float)
+        index = int(rng.choice(len(self.specs), p=weights / weights.sum()))
+        return self.specs[index]
+
+    def think(self, rng: np.random.Generator) -> float:
+        lo, hi = self.think_s
+        return float(rng.uniform(lo, hi))
+
+
+#: The realistic exploration mix: mostly trajectory scrubbing, frequent
+#: slider bursts (coalesced async drags), occasional cut-off scans.
+DEFAULT_MIX = InteractionMix(
+    name="default",
+    specs=(
+        InteractionSpec("slider_burst", base_ms=260.0,
+                        demand=Resources.cores(8, 2), client_ms=30.0,
+                        weight=3.0),
+        InteractionSpec("scrub", base_ms=120.0,
+                        demand=Resources.cores(6, 1), client_ms=20.0,
+                        weight=4.0),
+        InteractionSpec("cutoff_scan", base_ms=420.0,
+                        demand=Resources.cores(8, 2), client_ms=25.0,
+                        weight=2.0),
+    ),
+    think_s=(0.8, 2.0),
+    interactions_per_session=6,
+)
+
+#: Fast mix for the tier-1 smoke: same classes, tighter pacing.
+QUICK_MIX = InteractionMix(
+    name="quick",
+    specs=DEFAULT_MIX.specs,
+    think_s=(0.2, 0.6),
+    interactions_per_session=3,
+)
+
+
+# ----------------------------------------------------------------------
+# contention
+# ----------------------------------------------------------------------
+class NodeLoadTracker:
+    """Concurrently *active* CPU demand per node (the contention model).
+
+    The scheduler's requests-based packing guarantees allocation never
+    exceeds capacity, so allocation alone can't produce latency
+    degradation. What degrades is concurrent *demand*: interactions in
+    flight on the same node sum their active CPU; once the sum exceeds
+    node capacity everyone's compute stretches proportionally. The
+    slowdown is sampled at dispatch (no preemption mid-interaction) —
+    coarse, but monotone in load and cheap at thousands of sessions.
+    """
+
+    def __init__(self, cluster: Cluster):
+        self._cluster = cluster
+        self._active_milli: dict[str, int] = {}
+
+    def acquire(self, node_name: str | None, demand: Resources) -> float:
+        """Register demand; returns the slowdown factor (>= 1.0)."""
+        if node_name is None:
+            return 1.0
+        total = self._active_milli.get(node_name, 0) + demand.cpu_milli
+        self._active_milli[node_name] = total
+        node = self._cluster.nodes.get(node_name)
+        if node is None or node.capacity.cpu_milli == 0:
+            return 1.0
+        return max(1.0, total / node.capacity.cpu_milli)
+
+    def release(self, node_name: str | None, demand: Resources) -> None:
+        """Unregister demand at interaction completion."""
+        if node_name is None:
+            return
+        left = self._active_milli.get(node_name, 0) - demand.cpu_milli
+        self._active_milli[node_name] = max(0, left)
+
+    def demand_milli(self, node_name: str) -> int:
+        """Currently active demand on one node (test/monitoring hook)."""
+        return self._active_milli.get(node_name, 0)
+
+
+# ----------------------------------------------------------------------
+# outcomes + report
+# ----------------------------------------------------------------------
+@dataclass
+class SessionOutcome:
+    """One simulated user's lifecycle through the harness."""
+
+    user: str
+    arrival_t: float
+    login_t: float | None = None
+    ready_t: float | None = None
+    done_t: float | None = None
+    deferrals: int = 0
+    route_retries: int = 0
+    interactions: int = 0
+    gave_up: bool = False
+
+    @property
+    def completed(self) -> bool:
+        return self.done_t is not None and not self.gave_up
+
+
+@dataclass
+class LoadReport:
+    """Everything one harness run produced."""
+
+    recorder: LatencyRecorder
+    timeline: UtilizationTimeline
+    outcomes: list[SessionOutcome]
+    duration_s: float
+    reconcile_count: int = 0
+
+    @property
+    def sessions(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for o in self.outcomes if o.completed)
+
+    @property
+    def gave_up(self) -> int:
+        return sum(1 for o in self.outcomes if o.gave_up)
+
+    @property
+    def deferred_logins(self) -> int:
+        return sum(o.deferrals for o in self.outcomes)
+
+    def p99(self, klass: str | None = None, *,
+            since: float | None = None) -> float | None:
+        """Convenience p99 over the recorded stream."""
+        return self.recorder.percentile(99, klass, since=since)
+
+    def summary(self, klass: str | None = None, *,
+                since: float | None = None) -> LatencySummary:
+        return self.recorder.summary(klass, since=since)
+
+    def trace(self) -> list[tuple[float, str, str, float]]:
+        """The bit-identity pin: full latency event stream as tuples."""
+        return self.recorder.trace()
+
+    def to_dict(self) -> dict:
+        """JSON-friendly digest (consumed by the bench/CLI layers)."""
+        per_class = {
+            klass: vars(self.recorder.summary(klass))
+            for klass in self.recorder.classes()
+        }
+        return {
+            "sessions": self.sessions,
+            "completed": self.completed,
+            "gave_up": self.gave_up,
+            "deferred_logins": self.deferred_logins,
+            "interactions": len(self.recorder),
+            "duration_s": self.duration_s,
+            "reconcile_count": self.reconcile_count,
+            "overall": vars(self.recorder.summary()),
+            "per_class": per_class,
+            "worker_counts": self.timeline.worker_counts(),
+        }
+
+
+# ----------------------------------------------------------------------
+# the harness
+# ----------------------------------------------------------------------
+@dataclass
+class LoadGenConfig:
+    """Cluster + session knobs for one harness run."""
+
+    workers: int = 2
+    worker_resources: Resources = field(
+        default_factory=lambda: Resources.cores(16, 32)
+    )
+    instance_request: Resources = field(
+        default_factory=lambda: Resources.cores(1, 2)
+    )
+    instance_limit: Resources = field(
+        default_factory=lambda: Resources.cores(8, 8)
+    )
+    pod_startup_s: float = 6.0
+    admission_control: bool = True
+    admission_retry_after_s: float = 5.0
+    max_login_attempts: int = 25
+    boot_timeout_s: float = 180.0
+    boot_poll_s: float = 1.0
+    max_route_retries: int = 120
+    sample_every_s: float = 5.0
+    #: Placement scoring: "spread" (the elastic-deployment default here)
+    #: lets freshly provisioned nodes absorb new sessions immediately;
+    #: "binpack" keeps the substrate's dense best-fit behavior.
+    scheduler_strategy: str = "spread"
+    session_mode: str = "modeled"  # or "widget"
+    max_sessions: int | None = None
+    #: When set, each session registers on this shared compute service
+    #: (``service.session(name, budget_ms=...)``) and charges its modeled
+    #: server milliseconds there — so the deficit-fair budgets of
+    #: graphkit's ComputeService see the cloud-modeled load.
+    budget_service: object | None = None
+    solve_budget_ms: float = 1000.0
+
+
+class LoadHarness:
+    """Drives seeded sessions through hub→proxy→pod on one SimClock."""
+
+    def __init__(
+        self,
+        arrivals: PoissonArrivals | BurstArrivals,
+        mix: InteractionMix = DEFAULT_MIX,
+        *,
+        seed: int = 0,
+        config: LoadGenConfig | None = None,
+        autoscale: bool = False,
+        slo: SLOConfig | None = None,
+        node_startup_s: float = 15.0,
+        reconcile_every_s: float = 10.0,
+        drain_grace_s: float = 0.0,
+    ):
+        self.arrivals = arrivals
+        self.mix = mix
+        self.seed = seed
+        self.config = config or LoadGenConfig()
+        if self.config.session_mode not in ("modeled", "widget"):
+            raise ValueError(
+                f"unknown session_mode {self.config.session_mode!r}"
+            )
+        if self.config.scheduler_strategy not in Scheduler.STRATEGIES:
+            raise ValueError(
+                f"unknown scheduler_strategy "
+                f"{self.config.scheduler_strategy!r}"
+            )
+        self.reconcile_every_s = reconcile_every_s
+        self.drain_grace_s = drain_grace_s
+
+        self.clock = SimClock()
+        self.cluster = build_paper_cluster(
+            workers=self.config.workers,
+            worker_resources=self.config.worker_resources,
+            clock=self.clock,
+        )
+        self.cluster.pod_startup_seconds = self.config.pod_startup_s
+        self.cluster.scheduler.strategy = self.config.scheduler_strategy
+        self.hub = JupyterHub(
+            self.cluster,
+            config=HubConfig(
+                instance_request=self.config.instance_request,
+                instance_limit=self.config.instance_limit,
+                admission_control=self.config.admission_control,
+                admission_retry_after_s=self.config.admission_retry_after_s,
+            ),
+        )
+        self.proxy = ServiceProxy(self.cluster)
+        self.recorder = LatencyRecorder()
+        self.timeline = UtilizationTimeline()
+        self.tracker = NodeLoadTracker(self.cluster)
+        self.autoscaler: Autoscaler | None = None
+        if autoscale:
+            self.autoscaler = Autoscaler(
+                self.cluster,
+                self.hub,
+                self.recorder,
+                slo=slo,
+                node_resources=self.config.worker_resources,
+                node_startup_s=node_startup_s,
+            )
+        self.outcomes: list[SessionOutcome] = []
+        self._outstanding = 0
+        self._drain_deadline: float | None = None
+
+    # ------------------------------------------------------------------
+    def run(self) -> LoadReport:
+        """Schedule every arrival and drain the clock to completion."""
+        times = self.arrivals.times()
+        if self.config.max_sessions is not None:
+            times = times[: self.config.max_sessions]
+        self._outstanding = len(times)
+        for i, t in enumerate(times):
+            self.clock.schedule(t, self._arrival_callback(i))
+        self.clock.schedule(0.0, self._sample_loop)
+        if self.autoscaler is not None:
+            self.clock.schedule(self.reconcile_every_s, self._reconcile_loop)
+        guard = 0
+        while self.clock.pending:
+            fired = self.clock.drain(1_000_000)
+            guard += fired
+            if guard > 50_000_000:  # pragma: no cover - runaway backstop
+                raise RuntimeError("load harness exceeded event budget")
+        return LoadReport(
+            recorder=self.recorder,
+            timeline=self.timeline,
+            outcomes=self.outcomes,
+            duration_s=self.clock.now,
+            reconcile_count=(
+                len(self.autoscaler.history) if self.autoscaler else 0
+            ),
+        )
+
+    # -- background loops ----------------------------------------------
+    def _keep_looping(self) -> bool:
+        if self._outstanding > 0:
+            return True
+        return (
+            self._drain_deadline is not None
+            and self.clock.now < self._drain_deadline
+        )
+
+    def _sample_loop(self) -> None:
+        self.timeline.sample(self.cluster)
+        if self._keep_looping():
+            self.clock.schedule(self.config.sample_every_s, self._sample_loop)
+
+    def _reconcile_loop(self) -> None:
+        assert self.autoscaler is not None
+        self.autoscaler.reconcile()
+        if self._keep_looping():
+            self.clock.schedule(self.reconcile_every_s, self._reconcile_loop)
+
+    def _session_done(self, outcome: SessionOutcome, *,
+                      gave_up: bool = False) -> None:
+        if gave_up:
+            outcome.gave_up = True
+        else:
+            outcome.done_t = self.clock.now
+        self._outstanding -= 1
+        if self._outstanding == 0 and self.drain_grace_s > 0:
+            self._drain_deadline = self.clock.now + self.drain_grace_s
+
+    # -- session lifecycle ---------------------------------------------
+    def _arrival_callback(self, i: int):
+        def arrive() -> None:
+            user = f"user-{i:05d}"
+            outcome = SessionOutcome(user=user, arrival_t=self.clock.now)
+            self.outcomes.append(outcome)
+            self.hub.register_user(user, f"pw-{i}")
+            rng = np.random.default_rng((self.seed, i))
+            self._try_login(outcome, rng, i)
+
+        return arrive
+
+    def _try_login(self, outcome: SessionOutcome, rng, i: int) -> None:
+        try:
+            pod = self.hub.login(outcome.user, f"pw-{i}")
+        except AdmissionDeferred as deferred:
+            outcome.deferrals += 1
+            if outcome.deferrals >= self.config.max_login_attempts:
+                self._session_done(outcome, gave_up=True)
+                return
+            self.clock.schedule(
+                deferred.retry_after_s,
+                lambda: self._try_login(outcome, rng, i),
+            )
+            return
+        except Unschedulable:
+            # Admission control off: a refused spawn is a hard failure.
+            self._session_done(outcome, gave_up=True)
+            return
+        outcome.login_t = self.clock.now
+        self._await_boot(outcome, pod, rng, i)
+
+    def _await_boot(self, outcome: SessionOutcome, pod, rng, i: int) -> None:
+        if pod.running:
+            outcome.ready_t = self.clock.now
+            self._start_interactions(outcome, pod, rng, i)
+            return
+        assert outcome.login_t is not None
+        if self.clock.now - outcome.login_t > self.config.boot_timeout_s:
+            self._finish(outcome, gave_up=True)
+            return
+        self.clock.schedule(
+            self.config.boot_poll_s,
+            lambda: self._await_boot(outcome, pod, rng, i),
+        )
+
+    def _start_interactions(self, outcome, pod, rng, i: int) -> None:
+        compute_session = None
+        if self.config.budget_service is not None:
+            compute_session = self.config.budget_service.session(
+                outcome.user, budget_ms=self.config.solve_budget_ms
+            )
+        if self.config.session_mode == "widget":
+            self._run_widget_session(outcome, rng, i, compute_session)
+        else:
+            self._next_interaction(
+                outcome, rng, i, compute_session,
+                remaining=self.mix.interactions_per_session,
+            )
+
+    def _finish(self, outcome: SessionOutcome, *, gave_up: bool = False,
+                compute_session=None) -> None:
+        if compute_session is not None:
+            compute_session.close()
+        if outcome.user in self.hub.active_users:
+            self.hub.logout(outcome.user)
+        self._session_done(outcome, gave_up=gave_up)
+
+    # -- modeled interactions ------------------------------------------
+    def _next_interaction(self, outcome, rng, i: int, compute_session,
+                          *, remaining: int) -> None:
+        if remaining == 0:
+            self._finish(outcome, compute_session=compute_session)
+            return
+        address = f"198.51.100.{i % 250}"
+        path = f"{self.hub.config.service_path}/user/{outcome.user}"
+        try:
+            routed = self.proxy.request(address, self.hub.config.host, path)
+        except RoutingError:
+            # Transient (pod restarting after failure/migration): retry.
+            outcome.route_retries += 1
+            if outcome.route_retries > self.config.max_route_retries:
+                self._finish(
+                    outcome, gave_up=True, compute_session=compute_session
+                )
+                return
+            self.clock.schedule(
+                1.0,
+                lambda: self._next_interaction(
+                    outcome, rng, i, compute_session, remaining=remaining
+                ),
+            )
+            return
+        spec = self.mix.pick(rng)
+        node = routed.pod.node
+        slowdown = self.tracker.acquire(node, spec.demand)
+        server_ms = spec.base_ms * slowdown
+        total_ms = routed.latency_ms + server_ms + spec.client_ms
+
+        def complete() -> None:
+            self.tracker.release(node, spec.demand)
+            self.recorder.observe(
+                spec.name, total_ms, t=self.clock.now, session=outcome.user
+            )
+            outcome.interactions += 1
+            if compute_session is not None:
+                compute_session.charge(server_ms)
+            self.clock.schedule(
+                self.mix.think(rng),
+                lambda: self._next_interaction(
+                    outcome, rng, i, compute_session, remaining=remaining - 1
+                ),
+            )
+
+        self.clock.schedule(total_ms / 1000.0, complete)
+
+    # -- widget-mode interactions --------------------------------------
+    def _run_widget_session(self, outcome, rng, i: int,
+                            compute_session) -> None:
+        from .session import CloudSession
+
+        session = CloudSession(
+            self.hub,
+            self.proxy,
+            outcome.user,
+            f"pw-{i}",
+            client_address=f"198.51.100.{i % 250}",
+            n_frames=4,
+            seed=int(rng.integers(0, 2**31)),
+        )
+        actions = ["measure", "cutoff", "frame"]
+        measures = ["Degree Centrality", "Closeness Centrality"]
+
+        def step(remaining: int) -> None:
+            if remaining == 0:
+                try:
+                    session.close()
+                finally:
+                    if compute_session is not None:
+                        compute_session.close()
+                self._session_done(outcome)
+                return
+            action = actions[remaining % len(actions)]
+            if action == "measure":
+                request = session.switch_measure(
+                    measures[remaining % len(measures)]
+                )
+            elif action == "cutoff":
+                request = session.switch_cutoff(
+                    float(rng.uniform(4.0, 8.0))
+                )
+            else:
+                request = session.switch_frame(int(rng.integers(0, 4)))
+            self.recorder.observe(
+                action, request.total_ms, t=self.clock.now,
+                session=outcome.user,
+            )
+            outcome.interactions += 1
+            self.clock.schedule(
+                self.mix.think(rng), lambda: step(remaining - 1)
+            )
+
+        step(self.mix.interactions_per_session)
+
+
+# ----------------------------------------------------------------------
+# smoke + CLI
+# ----------------------------------------------------------------------
+def run_smoke(seed: int = 0, *, sessions: int = 200) -> LoadReport:
+    """The tier-1 smoke: ~200 quick sessions with the autoscaler live."""
+    harness = LoadHarness(
+        PoissonArrivals(rate_per_s=8.0, duration_s=60.0, seed=seed),
+        QUICK_MIX,
+        seed=seed,
+        config=LoadGenConfig(max_sessions=sessions),
+        autoscale=True,
+        node_startup_s=10.0,
+        reconcile_every_s=10.0,
+    )
+    return harness.run()
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: ``python -m repro.cloud.loadgen --smoke``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cloud.loadgen",
+        description="Seeded multi-tenant load harness for the cloud stack",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the fast tier-1 smoke (200 quick sessions)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--sessions", type=int, default=200,
+        help="session cap for --smoke (default 200)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit the full report digest as JSON",
+    )
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("only --smoke mode is wired up; pass --smoke")
+    report = run_smoke(args.seed, sessions=args.sessions)
+    digest = report.to_dict()
+    if args.json:
+        print(json.dumps(digest, indent=2, sort_keys=True))
+    else:
+        overall = report.summary()
+        print(
+            f"smoke: {report.completed}/{report.sessions} sessions completed"
+            f" ({report.gave_up} gave up, {report.deferred_logins} deferrals)"
+        )
+        print(
+            f"latency: p50 {overall.p50_ms:.1f}ms  p95 {overall.p95_ms:.1f}ms"
+            f"  p99 {overall.p99_ms:.1f}ms  over {overall.count} interactions"
+        )
+        print(f"simulated {report.duration_s:.1f}s, "
+              f"{report.reconcile_count} autoscaler cycles")
+    completed_enough = report.completed >= 0.9 * report.sessions
+    return 0 if (completed_enough and len(report.recorder)) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

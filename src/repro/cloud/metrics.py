@@ -8,12 +8,24 @@ presumes visibility into utilization — this module provides the snapshot.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import bisect
+from dataclasses import dataclass, field
+from typing import Sequence
 
 from .cluster import Cluster, NodeRole
 from .objects import PodPhase
 
-__all__ = ["NodeUtilization", "ClusterMetrics", "snapshot"]
+__all__ = [
+    "NodeUtilization",
+    "ClusterMetrics",
+    "snapshot",
+    "percentile",
+    "LatencySummary",
+    "LatencyEvent",
+    "LatencyRecorder",
+    "UtilizationSample",
+    "UtilizationTimeline",
+]
 
 
 @dataclass(frozen=True)
@@ -108,3 +120,201 @@ def snapshot(cluster: Cluster) -> ClusterMetrics:
         pods_total=total,
         control_plane_available=cluster.control_plane_available(),
     )
+
+
+# ----------------------------------------------------------------------
+# latency percentiles (the SLO view)
+# ----------------------------------------------------------------------
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``samples`` (linear interpolation).
+
+    Matches ``numpy.percentile(samples, q)`` (the default ``'linear'``
+    method) exactly — pinned by a differential test — but runs on plain
+    Python floats so the simulator's hot path never round-trips through
+    array allocation for a handful of samples.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    if not samples:
+        raise ValueError("percentile of empty sample set")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return float(ordered[lo] + (ordered[hi] - ordered[lo]) * frac)
+
+
+@dataclass(frozen=True)
+class LatencyEvent:
+    """One finished interaction: completion time, class, tenant, latency."""
+
+    time: float
+    klass: str
+    session: str
+    latency_ms: float
+
+    def as_tuple(self) -> tuple[float, str, str, float]:
+        """Hashable form used by the bit-identity reproducibility tests."""
+        return (self.time, self.klass, self.session, self.latency_ms)
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Percentile digest of one interaction class (or the whole stream)."""
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+
+    @classmethod
+    def of(cls, samples: Sequence[float]) -> "LatencySummary":
+        if not samples:
+            return cls(0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return cls(
+            count=len(samples),
+            mean_ms=sum(samples) / len(samples),
+            p50_ms=percentile(samples, 50),
+            p95_ms=percentile(samples, 95),
+            p99_ms=percentile(samples, 99),
+            max_ms=max(samples),
+        )
+
+
+class LatencyRecorder:
+    """Per-interaction latency stream with windowed percentile queries.
+
+    Events arrive in completion-time order (the simulation clock only
+    moves forward), so windowed queries bisect on time instead of
+    filtering. The autoscaler's detector reads ``summary(..., since=...)``
+    over its SLO window; the verifier reads per-session percentiles to
+    refuse evicting tenants that are already over budget.
+    """
+
+    def __init__(self) -> None:
+        self._events: list[LatencyEvent] = []
+        self._times: list[float] = []
+
+    def observe(
+        self, klass: str, latency_ms: float, *, t: float, session: str = ""
+    ) -> None:
+        """Record one finished interaction."""
+        if self._times and t < self._times[-1]:
+            raise ValueError(
+                f"events must arrive in time order ({t} < {self._times[-1]})"
+            )
+        self._events.append(LatencyEvent(t, klass, session, latency_ms))
+        self._times.append(t)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self, *, since: float | None = None) -> list[LatencyEvent]:
+        """Events completing at or after ``since`` (all when ``None``)."""
+        if since is None:
+            return list(self._events)
+        return self._events[bisect.bisect_left(self._times, since):]
+
+    def classes(self) -> list[str]:
+        """Interaction classes seen so far, sorted."""
+        return sorted({e.klass for e in self._events})
+
+    def latencies(
+        self,
+        klass: str | None = None,
+        *,
+        since: float | None = None,
+        session: str | None = None,
+    ) -> list[float]:
+        """Latency samples filtered by class / window / tenant."""
+        return [
+            e.latency_ms
+            for e in self.events(since=since)
+            if (klass is None or e.klass == klass)
+            and (session is None or e.session == session)
+        ]
+
+    def summary(
+        self, klass: str | None = None, *, since: float | None = None
+    ) -> LatencySummary:
+        """Percentile digest of one class (or everything) in a window."""
+        return LatencySummary.of(self.latencies(klass, since=since))
+
+    def percentile(
+        self,
+        q: float,
+        klass: str | None = None,
+        *,
+        since: float | None = None,
+        session: str | None = None,
+    ) -> float | None:
+        """Windowed percentile; ``None`` when the window holds no events."""
+        samples = self.latencies(klass, since=since, session=session)
+        return percentile(samples, q) if samples else None
+
+    def trace(self) -> list[tuple[float, str, str, float]]:
+        """The full event stream as plain tuples (reproducibility pin)."""
+        return [e.as_tuple() for e in self._events]
+
+
+# ----------------------------------------------------------------------
+# utilization timelines (the capacity view)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class UtilizationSample:
+    """One periodic cluster sample: per-node CPU fractions + pod counts."""
+
+    time: float
+    node_cpu_fraction: dict[str, float] = field(default_factory=dict)
+    workers_ready: int = 0
+    pods_running: int = 0
+    pods_pending: int = 0
+
+    @property
+    def worst_cpu_fraction(self) -> float:
+        return max(self.node_cpu_fraction.values(), default=0.0)
+
+    @property
+    def mean_cpu_fraction(self) -> float:
+        if not self.node_cpu_fraction:
+            return 0.0
+        return sum(self.node_cpu_fraction.values()) / len(self.node_cpu_fraction)
+
+
+class UtilizationTimeline:
+    """Per-node utilization over time, fed by periodic `sample()` calls."""
+
+    def __init__(self) -> None:
+        self.samples: list[UtilizationSample] = []
+
+    def sample(self, cluster: Cluster) -> UtilizationSample:
+        """Snapshot worker utilization at the cluster's current time."""
+        metrics = snapshot(cluster)
+        record = UtilizationSample(
+            time=metrics.time,
+            node_cpu_fraction={
+                n.name: n.cpu_fraction for n in metrics.workers() if n.ready
+            },
+            workers_ready=sum(1 for n in metrics.workers() if n.ready),
+            pods_running=metrics.pods_running,
+            pods_pending=metrics.pods_pending,
+        )
+        self.samples.append(record)
+        return record
+
+    def series(self, node: str) -> list[tuple[float, float]]:
+        """(time, cpu_fraction) series for one node (gaps when not ready)."""
+        return [
+            (s.time, s.node_cpu_fraction[node])
+            for s in self.samples
+            if node in s.node_cpu_fraction
+        ]
+
+    def worker_counts(self) -> list[tuple[float, int]]:
+        """(time, ready worker count) — the autoscaler's visible effect."""
+        return [(s.time, s.workers_ready) for s in self.samples]

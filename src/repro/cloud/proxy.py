@@ -10,16 +10,35 @@ forwards the package to the pod on the appropriate worker node."
 :class:`ServiceProxy` implements exactly that: source-hash load balancing
 at the service node, then route-prefix resolution to a backend pod, with
 a simple latency model per hop.
+
+Two implementation notes for the load harness:
+
+* hashing uses ``zlib.crc32`` rather than Python's ``hash()`` —
+  per-process string-hash randomization would make the same seeded
+  simulation route differently across interpreter runs, breaking the
+  bit-identical-reproducibility contract;
+* route resolution keeps an exact ``(host, path)`` index (rebuilt when
+  the route count changes) and a validated per-``(route, source)``
+  endpoint cache, so a cluster with thousands of per-user routes still
+  resolves each request in O(1) — the cache re-resolves from scratch
+  whenever the cached pod is gone or no longer running, which is exactly
+  the reroute path the fault-injection tests exercise.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 from .cluster import Cluster, NodeRole
 from .objects import Pod, Route
 
 __all__ = ["RoutedRequest", "ServiceProxy", "RoutingError"]
+
+
+def _stable_hash(text: str) -> int:
+    """Process-independent string hash (crc32) for balancing decisions."""
+    return zlib.crc32(text.encode("utf-8"))
 
 
 class RoutingError(RuntimeError):
@@ -56,6 +75,12 @@ class ServiceProxy:
         self.lan_hop_ms = lan_hop_ms
         self.proxy_overhead_ms = proxy_overhead_ms
         self.handled: list[RoutedRequest] = []
+        # (host, path) → Route exact-match index; rebuilt lazily when the
+        # cluster's route count changes (routes are added, never renamed).
+        self._route_index: dict[tuple[str, str], Route] = {}
+        self._route_count_seen = -1
+        # (route name, source) → pod, validated before reuse.
+        self._endpoint_cache: dict[tuple[str, str], Pod] = {}
 
     # ------------------------------------------------------------------
     def _service_node(self) -> str:
@@ -64,14 +89,30 @@ class ServiceProxy:
                 return node.name
         raise RoutingError("service node down: no public entry point")
 
+    def _refresh_route_index(self) -> None:
+        count = sum(len(ns.routes) for ns in self._cluster.namespaces.values())
+        if count == self._route_count_seen:
+            return
+        self._route_index = {
+            (route.host, route.path): route
+            for ns in self._cluster.namespaces.values()
+            for route in ns.routes.values()
+        }
+        self._route_count_seen = count
+
     def _find_route(self, host: str, path: str) -> Route:
+        self._refresh_route_index()
+        # Exact hit first (the overwhelmingly common case: each user's
+        # requests target their own route's path verbatim).
+        exact = self._route_index.get((host, path))
+        if exact is not None:
+            return exact
         best: Route | None = None
-        for ns in self._cluster.namespaces.values():
-            for route in ns.routes.values():
-                if route.matches(host, path):
-                    # Longest-prefix wins.
-                    if best is None or len(route.path) > len(best.path):
-                        best = route
+        for route in self._route_index.values():
+            if route.matches(host, path):
+                # Longest-prefix wins.
+                if best is None or len(route.path) > len(best.path):
+                    best = route
         if best is None:
             raise RoutingError(f"no route matches {host}{path}")
         return best
@@ -83,20 +124,30 @@ class ServiceProxy:
         if not workers:
             raise RoutingError("no ready worker for source-balanced hop")
         # Source-balanced policy: stable hash of the client address.
-        index = hash(source) % len(workers)
+        index = _stable_hash(source) % len(workers)
         return workers[index]
 
     def _pick_pod(self, route: Route, source: str) -> Pod:
         ns = self._cluster.namespace(route.namespace)
+        cached = self._endpoint_cache.get((route.name, source))
+        if (
+            cached is not None
+            and cached.running
+            and ns.pods.get(cached.name) is cached
+        ):
+            return cached
         service = ns.services[route.service_name]
         endpoints = self._cluster.pods_for_service(service)
         if not endpoints:
+            self._endpoint_cache.pop((route.name, source), None)
             raise RoutingError(
                 f"service {route.namespace}/{route.service_name} has no "
                 "running endpoints"
             )
         endpoints = sorted(endpoints, key=lambda p: p.name)
-        return endpoints[hash((source, route.name)) % len(endpoints)]
+        pod = endpoints[_stable_hash(f"{source}|{route.name}") % len(endpoints)]
+        self._endpoint_cache[(route.name, source)] = pod
+        return pod
 
     # ------------------------------------------------------------------
     def request(self, source: str, host: str, path: str) -> RoutedRequest:

@@ -4,25 +4,76 @@ Best-fit by remaining CPU (densest packing first keeps whole workers free
 for large instances), honoring requests vs. node capacity. Scheduled pods
 start after the cluster's startup delay (image pull + conda env
 activation — the paper's user pods boot a >200-package environment).
+
+Placement failures are a *typed outcome*, not a bare exception:
+:class:`Unschedulable` carries the request and a per-node reason map so
+admission control (the hub's 429 path) and the autoscaler's proposer can
+consume it programmatically. The scheduler also exposes the rebalance
+hooks the autoscaler builds plans from: :meth:`placement_for` (dry-run
+best fit), :meth:`drain_plan` (where would a node's pods go) and
+:meth:`move_pod` (commit one migration).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from .objects import Pod, PodPhase
+from .resources import Resources
 
 if TYPE_CHECKING:  # pragma: no cover
     from .cluster import Cluster
 
-__all__ = ["Scheduler"]
+__all__ = ["Scheduler", "Unschedulable", "Placement"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """A successful (dry-run or committed) placement decision."""
+
+    node: str
+    free_after: Resources
+
+
+@dataclass(frozen=True)
+class Unschedulable(Exception):
+    """No worker can fit the request right now (typed 503-style outcome).
+
+    Carries enough structure for its two consumers: the hub's admission
+    controller turns it into a 429-style deferral with a retry hint, and
+    the autoscaler's proposer reads ``requests`` to size the scale-up.
+    """
+
+    requests: Resources
+    reason: str
+    node_reasons: dict[str, str] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"unschedulable: {self.reason} (requests {self.requests})"
 
 
 class Scheduler:
-    """Reconciling scheduler bound to one cluster."""
+    """Reconciling scheduler bound to one cluster.
 
-    def __init__(self, cluster: "Cluster"):
+    ``strategy`` picks the placement score (the two k8s
+    ``NodeResourcesFit`` poles): ``"binpack"`` (default, best fit —
+    densest packing keeps whole workers free for large instances) or
+    ``"spread"`` (worst fit — emptiest node first, so freshly
+    provisioned capacity absorbs new sessions immediately; the load
+    harness runs with this, matching how an elastic multi-tenant
+    deployment would score).
+    """
+
+    STRATEGIES = ("binpack", "spread")
+
+    def __init__(self, cluster: "Cluster", *, strategy: str = "binpack"):
+        if strategy not in self.STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; pick from {self.STRATEGIES}"
+            )
         self._cluster = cluster
+        self.strategy = strategy
 
     def pending_pods(self) -> list[Pod]:
         """All pods awaiting placement, oldest first."""
@@ -42,26 +93,159 @@ class Scheduler:
                 placed += 1
         return placed
 
-    def _place(self, pod: Pod) -> bool:
-        candidates = [
-            node
-            for node in self._cluster.workers()
-            if node.can_fit(pod.requests)
-        ]
+    # ------------------------------------------------------------------
+    # dry-run feasibility (consumed by admission control / the proposer)
+    # ------------------------------------------------------------------
+    def placement_for(
+        self, requests: Resources, *, exclude: set[str] | None = None
+    ) -> Placement:
+        """Best-fit node for a request *without* committing anything.
+
+        Raises :class:`Unschedulable` — with a per-node reason map —
+        when nothing fits. ``exclude`` removes nodes from consideration
+        (used when planning a drain of the excluded node itself).
+        """
+        exclude = exclude or set()
+        reasons: dict[str, str] = {}
+        candidates = []
+        for node in self._cluster.workers():
+            if node.name in exclude:
+                reasons[node.name] = "excluded from placement"
+            elif not node.ready:
+                reasons[node.name] = "node not ready"
+            elif not requests.fits_in(node.free):
+                reasons[node.name] = (
+                    f"insufficient capacity (free {node.free.cpu_milli}m CPU"
+                    f" / {node.free.memory_mib}Mi)"
+                )
+            else:
+                candidates.append(node)
         if not candidates:
-            return False
-        # Best fit: the node whose remaining CPU after placement is
-        # smallest (ties broken by name for determinism).
+            raise Unschedulable(
+                requests=requests,
+                reason="no worker fits the request",
+                node_reasons=reasons,
+            )
         best = min(
             candidates,
-            key=lambda n: (n.free.cpu_milli - pod.requests.cpu_milli, n.name),
+            key=lambda n: self._score(n.free.cpu_milli, requests.cpu_milli)
+            + (n.name,),
         )
+        return Placement(node=best.name, free_after=best.free - requests)
+
+    def _score(self, free_milli: int, request_milli: int) -> tuple:
+        """Placement score (lower wins) under the configured strategy."""
+        remaining = free_milli - request_milli
+        if self.strategy == "spread":
+            return (-remaining,)
+        return (remaining,)
+
+    def feasible(self, requests: Resources) -> bool:
+        """Would a pod of this size schedule right now?"""
+        try:
+            self.placement_for(requests)
+            return True
+        except Unschedulable:
+            return False
+
+    # ------------------------------------------------------------------
+    # rebalance hooks (consumed by the autoscaler's proposer)
+    # ------------------------------------------------------------------
+    def pods_on(self, node_name: str) -> list[Pod]:
+        """Pods currently allocated to a node, stable order."""
+        pods = [
+            pod
+            for ns in self._cluster.namespaces.values()
+            for pod in ns.pods.values()
+            if pod.node == node_name
+        ]
+        return sorted(pods, key=lambda p: p.uid)
+
+    def drain_plan(self, node_name: str) -> list[tuple[Pod, str]]:
+        """Where each pod on ``node_name`` would go if the node drained.
+
+        Planned against a *forked* free-capacity map (placements in the
+        plan consume capacity for later ones), never mutating real state.
+        Raises :class:`Unschedulable` as soon as one pod has no home —
+        the node cannot be drained.
+        """
+        free = {
+            n.name: n.free
+            for n in self._cluster.workers()
+            if n.ready and n.name != node_name
+        }
+        moves: list[tuple[Pod, str]] = []
+        for pod in self.pods_on(node_name):
+            fits = {
+                name: cap for name, cap in free.items()
+                if pod.requests.fits_in(cap)
+            }
+            if not fits:
+                raise Unschedulable(
+                    requests=pod.requests,
+                    reason=(
+                        f"pod {pod.namespace}/{pod.name} has no drain target "
+                        f"off {node_name}"
+                    ),
+                )
+            # Same strategy + tie-break as _place, on the forked map.
+            target = min(
+                fits,
+                key=lambda name: self._score(
+                    fits[name].cpu_milli, pod.requests.cpu_milli
+                )
+                + (name,),
+            )
+            free[target] = free[target] - pod.requests
+            moves.append((pod, target))
+        return moves
+
+    def move_pod(self, pod: Pod, to_node: str) -> None:
+        """Commit one migration: release the old slot, restart on the new.
+
+        The pod pays the cluster's startup delay again (its container is
+        recreated on the target), exactly the eviction cost the
+        autoscaler's verifier weighs against each tenant's SLO headroom.
+        """
+        target = self._cluster.nodes[to_node]
+        if not target.can_fit(pod.requests):
+            raise Unschedulable(
+                requests=pod.requests,
+                reason=f"move target {to_node} cannot fit the pod",
+                node_reasons={to_node: "insufficient capacity"},
+            )
+        if pod.node is not None and pod.node in self._cluster.nodes:
+            old = self._cluster.nodes[pod.node]
+            old.allocated = old.allocated - pod.requests
+        target.allocated = target.allocated + pod.requests
+        pod.node = to_node
+        pod.phase = PodPhase.PENDING
+        self._cluster._record(
+            "Rebalanced", f"{pod.namespace}/{pod.name}", f"moved to {to_node}"
+        )
+        self._schedule_start(pod)
+
+    # ------------------------------------------------------------------
+    def _place(self, pod: Pod) -> bool:
+        try:
+            placement = self.placement_for(pod.requests)
+        except Unschedulable as outcome:
+            self._cluster._record(
+                "FailedScheduling",
+                f"{pod.namespace}/{pod.name}",
+                outcome.reason,
+            )
+            return False
+        best = self._cluster.nodes[placement.node]
         best.allocated = best.allocated + pod.requests
         pod.node = best.name
         self._cluster._record(
             "Scheduled", f"{pod.namespace}/{pod.name}", f"assigned to {best.name}"
         )
+        self._schedule_start(pod)
+        return True
 
+    def _schedule_start(self, pod: Pod) -> None:
         def start(p: Pod = pod) -> None:
             # The node may have failed in the meantime.
             if p.node and self._cluster.nodes[p.node].ready and (
@@ -73,4 +257,3 @@ class Scheduler:
                 )
 
         self._cluster.clock.schedule(self._cluster.pod_startup_seconds, start)
-        return True

@@ -191,6 +191,21 @@ class CloudSession:
 
         return self._execute(f"{action}-burst", run)
 
+    def set_solve_budget(self, budget_ms: float) -> None:
+        """Re-weight this user's share of the shared compute service.
+
+        The autoscaler (or an operator) feeds per-session budgets live:
+        shrinking a hog's budget deprioritizes its queued solves at the
+        next dispatch without cancelling anything. No-op scaffolding is
+        refused — a thread-engine session has no compute session to feed.
+        """
+        if self.compute_session is None:
+            raise RuntimeError(
+                "session has no shared compute session to re-budget "
+                '(needs engine="process" with compute="shared")'
+            )
+        self.compute_session.set_budget(budget_ms)
+
     def close(self) -> None:
         """End the session: stop the widget's worker and delete the pod.
 

@@ -120,6 +120,30 @@ class ComputeSession:
         """Deficit fair share: fraction of budget consumed (lower first)."""
         return self.spent_ms / self.budget_ms
 
+    def set_budget(self, budget_ms: float) -> None:
+        """Re-weight this session live (the cloud layer's budget feed).
+
+        Takes effect at the next dispatch decision — queued jobs are
+        re-prioritized because priorities are read at dispatch time, not
+        frozen at submit time.
+        """
+        if budget_ms <= 0:
+            raise ValueError(f"budget_ms must be > 0, got {budget_ms}")
+        self.budget_ms = float(budget_ms)
+
+    def charge(self, ms: float) -> None:
+        """Account externally-measured work against this session's share.
+
+        The cloud simulator charges each tenant's *modeled* pod-side
+        milliseconds here so deficit-fair ordering reflects cloud load
+        even for work that never touched the pool; real solves submitted
+        through a lease are charged automatically on completion and land
+        in the same account.
+        """
+        if ms < 0:
+            raise ValueError(f"charge must be non-negative, got {ms}")
+        self.spent_ms += float(ms)
+
     @property
     def closed(self) -> bool:
         return self._closed
@@ -359,6 +383,17 @@ class ComputeService:
         """Live registered sessions by name (copy)."""
         with self._lock:
             return dict(self._sessions)
+
+    def set_session_budget(self, name: str, budget_ms: float) -> ComputeSession:
+        """Re-weight a registered session live (cloud budget feed).
+
+        The next dispatch decision sees the new weight; raises
+        ``KeyError`` for unknown sessions so a stale feed is loud.
+        """
+        with self._lock:
+            sess = self._sessions[name]
+            sess.set_budget(budget_ms)
+            return sess
 
     def lease(
         self,

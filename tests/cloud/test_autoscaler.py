@@ -1,0 +1,471 @@
+"""Autoscaler tests: detect→propose→verify units + the headline e2e."""
+
+import pytest
+
+from repro.cloud.autoscaler import (
+    AddWorkers,
+    Autoscaler,
+    ClusterFork,
+    Detector,
+    Plan,
+    Proposer,
+    RebalancePods,
+    RemoveWorker,
+    SLOConfig,
+    Verifier,
+)
+from repro.cloud.cluster import Node, NodeRole, build_paper_cluster
+from repro.cloud.jupyterhub import HubConfig, JupyterHub
+from repro.cloud.loadgen import (
+    DEFAULT_MIX,
+    BurstArrivals,
+    LoadGenConfig,
+    LoadHarness,
+)
+from repro.cloud.metrics import LatencyRecorder, percentile
+from repro.cloud.resources import Resources
+
+
+def make_stack(*, workers=2, admission=True):
+    cluster = build_paper_cluster(workers=workers)
+    hub = JupyterHub(
+        cluster,
+        config=HubConfig(
+            instance_request=Resources.cores(2, 4),
+            admission_control=admission,
+        ),
+    )
+    cluster.clock.advance(30)  # hub pod running
+    return cluster, hub
+
+
+class TestDetector:
+    def test_healthy_cluster_no_signals(self):
+        cluster, hub = make_stack()
+        diag = Detector(SLOConfig()).diagnose(
+            cluster, LatencyRecorder(), hub, now=cluster.clock.now
+        )
+        assert diag.healthy
+        assert not diag.overloaded
+
+    def test_slo_breach_flagged_per_class(self):
+        cluster, hub = make_stack()
+        recorder = LatencyRecorder()
+        for i in range(20):
+            recorder.observe("scrub", 900.0, t=float(i), session=f"u{i}")
+        diag = Detector(SLOConfig(p99_target_ms=400.0, window_s=100.0)).diagnose(
+            cluster, recorder, hub, now=20.0
+        )
+        assert "slo-breach" in diag.kinds()
+        assert diag.overloaded
+
+    def test_breach_outside_window_ignored(self):
+        cluster, hub = make_stack()
+        recorder = LatencyRecorder()
+        recorder.observe("scrub", 9000.0, t=0.0, session="old")
+        diag = Detector(SLOConfig(p99_target_ms=400.0, window_s=10.0)).diagnose(
+            cluster, recorder, hub, now=500.0
+        )
+        assert "slo-breach" not in diag.kinds()
+
+    def test_node_down_flagged_unless_provisioning(self):
+        cluster, hub = make_stack()
+        cluster.nodes["worker-1"].ready = False
+        det = Detector(SLOConfig())
+        now = cluster.clock.now
+        rec = LatencyRecorder()
+        assert "node-down" in det.diagnose(cluster, rec, hub, now=now).kinds()
+        diag = det.diagnose(
+            cluster, rec, hub, now=now, provisioning={"worker-1"}
+        )
+        assert "node-down" not in diag.kinds()
+
+    def test_deferrals_counts_only_waiting_users(self):
+        # Tiny cluster: one worker, mostly eaten by the hub pod.
+        cluster, hub = make_stack(workers=1)
+        cluster.nodes["worker-0"].capacity = Resources.cores(2, 4)
+        hub.register_user("alice", "pw")
+        for _ in range(3):
+            with pytest.raises(Exception):
+                hub.login("alice", "pw")
+        diag = Detector(SLOConfig()).diagnose(
+            cluster, LatencyRecorder(), hub, now=cluster.clock.now
+        )
+        signals = [s for s in diag.signals if s.kind == "deferrals"]
+        assert signals and signals[0].value == 1.0  # one user, not 3 events
+
+    def test_underutilized_needs_headroom(self):
+        cluster, hub = make_stack(workers=4)
+        diag = Detector(SLOConfig(min_workers=2)).diagnose(
+            cluster, LatencyRecorder(), hub, now=cluster.clock.now
+        )
+        assert diag.underloaded
+        diag2 = Detector(SLOConfig(min_workers=4)).diagnose(
+            cluster, LatencyRecorder(), hub, now=cluster.clock.now
+        )
+        assert not diag2.underloaded
+
+
+class TestProposer:
+    def test_scale_up_sized_by_waiting_demand(self):
+        cluster, hub = make_stack()
+        slo = SLOConfig(max_workers=10)
+        proposer = Proposer(slo, instance_request=Resources.cores(2, 4))
+        recorder = LatencyRecorder()
+        det = Detector(slo)
+        # Fake a deferral backlog by registering+failing logins on a
+        # saturated cluster copy is heavy; instead drive the signal path
+        # directly through a saturated single-worker stack.
+        small_cluster, small_hub = make_stack(workers=1)
+        small_cluster.nodes["worker-0"].capacity = Resources.cores(2, 4)
+        for i in range(8):
+            small_hub.register_user(f"u{i}", "pw")
+            with pytest.raises(Exception):
+                small_hub.login(f"u{i}", "pw")
+        diag = det.diagnose(
+            small_cluster, recorder, small_hub, now=small_cluster.clock.now
+        )
+        plan = proposer.propose(
+            diag,
+            small_cluster,
+            recorder,
+            node_resources=Resources.cores(8, 16),
+        )
+        assert plan is not None
+        adds = [a for a in plan.actions if isinstance(a, AddWorkers)]
+        assert adds and adds[0].count >= 2  # 8 waiting / 4-per-node
+
+    def test_scale_up_respects_max_workers(self):
+        cluster, hub = make_stack(workers=3)
+        slo = SLOConfig(max_workers=3)
+        proposer = Proposer(slo, instance_request=Resources.cores(2, 4))
+        recorder = LatencyRecorder()
+        for i in range(20):
+            recorder.observe("scrub", 2000.0, t=float(i), session=f"u{i}")
+        diag = Detector(slo).diagnose(cluster, recorder, hub, now=20.0)
+        assert diag.overloaded
+        plan = proposer.propose(
+            diag, cluster, recorder, node_resources=Resources.cores(8, 16)
+        )
+        if plan is not None:  # rebalance may still be proposed
+            assert not any(
+                isinstance(a, AddWorkers) for a in plan.actions
+            )
+
+    def test_scale_down_removes_empty_elastic_nodes(self):
+        cluster, hub = make_stack(workers=2)
+        for i in range(3):
+            cluster.add_node(
+                Node(f"worker-auto-{i}", NodeRole.WORKER, Resources.cores(8, 16))
+            )
+        slo = SLOConfig(min_workers=2)
+        diag = Detector(slo).diagnose(
+            cluster, LatencyRecorder(), hub, now=cluster.clock.now
+        )
+        assert diag.underloaded
+        plan = Proposer(slo, instance_request=Resources.cores(2, 4)).propose(
+            diag,
+            cluster,
+            LatencyRecorder(),
+            node_resources=Resources.cores(8, 16),
+        )
+        assert plan is not None
+        removes = [a for a in plan.actions if isinstance(a, RemoveWorker)]
+        assert {a.name for a in removes} == {
+            "worker-auto-0", "worker-auto-1", "worker-auto-2"
+        }
+
+    def test_scale_down_never_touches_seed_workers(self):
+        cluster, hub = make_stack(workers=4)
+        slo = SLOConfig(min_workers=2)
+        diag = Detector(slo).diagnose(
+            cluster, LatencyRecorder(), hub, now=cluster.clock.now
+        )
+        assert diag.underloaded
+        plan = Proposer(slo, instance_request=Resources.cores(2, 4)).propose(
+            diag,
+            cluster,
+            LatencyRecorder(),
+            node_resources=Resources.cores(8, 16),
+        )
+        assert plan is None  # nothing elastic to remove
+
+    def test_rebalance_spreads_hot_node(self):
+        cluster, hub = make_stack(workers=2)
+        # Pack users densely onto worker nodes (binpack default), then
+        # add an empty node: the proposer should move pods onto it.
+        for i in range(6):
+            hub.register_user(f"u{i}", "pw")
+            hub.login(f"u{i}", "pw")
+        cluster.clock.advance(30)
+        cluster.add_node(
+            Node("worker-auto-0", NodeRole.WORKER, Resources.cores(32, 64))
+        )
+        slo = SLOConfig(p99_target_ms=400.0)
+        recorder = LatencyRecorder()
+        for i in range(20):
+            recorder.observe("scrub", 2000.0, t=float(i), session="hog")
+        diag = Detector(slo).diagnose(
+            cluster, recorder, hub, now=cluster.clock.now
+        )
+        assert diag.overloaded
+        plan = Proposer(slo, instance_request=Resources.cores(2, 4)).propose(
+            diag,
+            cluster,
+            recorder,
+            node_resources=Resources.cores(32, 64),
+        )
+        assert plan is not None
+        moves = [a for a in plan.actions if isinstance(a, RebalancePods)]
+        assert moves
+        targets = {dst for _, _, _, dst in moves[0].moves}
+        sources = {src for _, _, src, _ in moves[0].moves}
+        assert "worker-auto-0" in targets  # the empty node gets pods
+        assert "worker-auto-0" not in sources
+
+
+class TestClusterFork:
+    def test_add_and_remove_replay(self):
+        cluster, hub = make_stack(workers=2)
+        fork = ClusterFork.of(cluster)
+        before = fork.ready_workers()
+        violations = fork.apply(
+            Plan((AddWorkers(2, Resources.cores(8, 16)),), reason="t")
+        )
+        assert violations == []
+        assert fork.ready_workers() == before + 2
+
+    def test_orphaning_removal_is_violation(self):
+        cluster, hub = make_stack(workers=2)
+        hub.register_user("u", "pw")
+        pod = hub.login("u", "pw")
+        fork = ClusterFork.of(cluster)
+        plan = Plan((RemoveWorker(name=pod.node),), reason="bad")
+        violations = fork.apply(plan)
+        assert any("orphan" in v for v in violations)
+
+    def test_move_to_missing_node_is_violation(self):
+        cluster, hub = make_stack(workers=2)
+        hub.register_user("u", "pw")
+        pod = hub.login("u", "pw")
+        fork = ClusterFork.of(cluster)
+        plan = Plan(
+            (RebalancePods((("rin-exploration", pod.name, pod.node, "ghost"),)),),
+            reason="bad",
+        )
+        assert any("does not exist" in v for v in fork.apply(plan))
+
+
+class TestVerifier:
+    def test_approves_clean_scale_up(self):
+        cluster, hub = make_stack()
+        verdict = Verifier(SLOConfig()).verify(
+            Plan((AddWorkers(1, Resources.cores(8, 16)),), reason="up"),
+            cluster,
+            LatencyRecorder(),
+            now=cluster.clock.now,
+        )
+        assert verdict.approved
+
+    def test_rejects_scale_down_below_min_workers(self):
+        cluster, hub = make_stack(workers=2)
+        verdict = Verifier(SLOConfig(min_workers=2)).verify(
+            Plan((RemoveWorker(name="worker-1"),), reason="down"),
+            cluster,
+            LatencyRecorder(),
+            now=cluster.clock.now,
+        )
+        assert not verdict.approved
+        assert any("min_workers" in r for r in verdict.reasons)
+
+    def test_rejects_eviction_of_session_above_slo(self):
+        cluster, hub = make_stack(workers=2)
+        hub.register_user("victim", "pw")
+        pod = hub.login("victim", "pw")
+        cluster.clock.advance(30)
+        recorder = LatencyRecorder()
+        for i in range(10):
+            recorder.observe(
+                "scrub", 1500.0, t=float(30 + i), session="victim"
+            )
+        other = next(
+            n.name for n in cluster.workers() if n.name != pod.node
+        )
+        plan = Plan(
+            (RebalancePods(
+                (("rin-exploration", pod.name, pod.node, other),)
+            ),),
+            reason="move victim",
+        )
+        verdict = Verifier(SLOConfig(p99_target_ms=400.0)).verify(
+            plan, cluster, recorder, now=cluster.clock.now
+        )
+        assert not verdict.approved
+        assert any("evict" in r for r in verdict.reasons)
+
+    def test_approves_eviction_of_healthy_session(self):
+        cluster, hub = make_stack(workers=2)
+        hub.register_user("ok", "pw")
+        pod = hub.login("ok", "pw")
+        cluster.clock.advance(30)
+        recorder = LatencyRecorder()
+        for i in range(10):
+            recorder.observe("scrub", 100.0, t=float(30 + i), session="ok")
+        other = next(
+            n.name for n in cluster.workers() if n.name != pod.node
+        )
+        plan = Plan(
+            (RebalancePods(
+                (("rin-exploration", pod.name, pod.node, other),)
+            ),),
+            reason="move ok",
+        )
+        verdict = Verifier(SLOConfig(p99_target_ms=400.0)).verify(
+            plan, cluster, recorder, now=cluster.clock.now
+        )
+        assert verdict.approved
+
+
+class TestAutoscalerLoop:
+    def test_healthy_cycle_commits_nothing(self):
+        cluster, hub = make_stack()
+        scaler = Autoscaler(cluster, hub, LatencyRecorder())
+        record = scaler.reconcile()
+        assert record.diagnosis.healthy
+        assert not record.committed
+        assert scaler.history == [record]
+
+    def test_cooldown_suppresses_back_to_back_scaling(self):
+        cluster, hub = make_stack(workers=2)
+        recorder = LatencyRecorder()
+        slo = SLOConfig(p99_target_ms=400.0, cooldown_s=60.0, max_workers=8)
+        scaler = Autoscaler(
+            cluster, hub, recorder,
+            slo=slo, node_resources=Resources.cores(8, 16),
+        )
+        for i in range(20):
+            recorder.observe("scrub", 2000.0, t=float(i), session=f"u{i}")
+        cluster.clock.advance(20)
+        first = scaler.reconcile()
+        assert first.committed  # scale-up committed
+        # Let the new node finish booting, then breach again while still
+        # inside the 60s cooldown: the plan must be suppressed, uncommitted.
+        cluster.clock.advance(30)
+        for i in range(20):
+            recorder.observe("scrub", 2000.0, t=50.0 + i / 10, session=f"v{i}")
+        second = scaler.reconcile()
+        assert not scaler.provisioning  # node is up; demand is real again
+        assert second.plan is not None
+        assert not second.committed
+        assert any("cooldown" in n for n in second.notes)
+
+    def test_provisioning_nodes_not_flagged_down(self):
+        cluster, hub = make_stack(workers=2)
+        recorder = LatencyRecorder()
+        slo = SLOConfig(p99_target_ms=400.0, cooldown_s=0.0, max_workers=8)
+        scaler = Autoscaler(
+            cluster, hub, recorder,
+            slo=slo,
+            node_resources=Resources.cores(8, 16),
+            node_startup_s=30.0,
+        )
+        for i in range(20):
+            recorder.observe("scrub", 2000.0, t=float(i), session=f"u{i}")
+        cluster.clock.advance(20)
+        first = scaler.reconcile()
+        assert first.committed
+        assert scaler.provisioning  # nodes still booting
+        second = scaler.reconcile()
+        assert "node-down" not in second.diagnosis.kinds()
+        cluster.clock.advance(40)  # boot completes
+        scaler.reconcile()
+        assert not scaler.provisioning
+
+
+class TestHeadlineE2E:
+    """The acceptance scenario: a 10x arrival spike of >=2000 sessions.
+
+    The static arm breaches the p99 SLO; the autoscaled arm (same seed,
+    same arrivals) holds it in the post-ramp window, then scales back
+    down to the seed worker count after the spike drains. The whole run
+    is bit-identical from the seed.
+    """
+
+    SEED = 42
+    SLO_MS = 700.0
+    PHASES = ((60.0, 1.0), (220.0, 10.0), (60.0, 0.0001))  # 1/s → 10/s → quiet
+    WINDOW = (180.0, 280.0)  # post-ramp: scale-up had time to land
+
+    def _arrivals(self):
+        return BurstArrivals(self.PHASES, seed=self.SEED)
+
+    def _autoscaled(self):
+        return LoadHarness(
+            self._arrivals(),
+            DEFAULT_MIX,
+            seed=self.SEED,
+            config=LoadGenConfig(workers=4),
+            autoscale=True,
+            slo=SLOConfig(p99_target_ms=self.SLO_MS, max_workers=32),
+            node_startup_s=12.0,
+            reconcile_every_s=10.0,
+            drain_grace_s=120.0,
+        )
+
+    def _window_p99(self, report):
+        lo, hi = self.WINDOW
+        samples = [
+            e.latency_ms
+            for e in report.recorder.events(since=lo)
+            if e.time <= hi
+        ]
+        assert samples, "no interactions in the assertion window"
+        return percentile(samples, 99)
+
+    def test_spike_scale_and_drain(self):
+        arrivals = self._arrivals().times()
+        spike = sum(1 for t in arrivals if 60.0 <= t < 280.0)
+        assert len(arrivals) >= 2000
+        assert spike >= 2000  # the 10x phase alone carries the bulk
+
+        static = LoadHarness(
+            self._arrivals(),
+            DEFAULT_MIX,
+            seed=self.SEED,
+            config=LoadGenConfig(workers=4),
+            autoscale=False,
+        ).run()
+        harness = self._autoscaled()
+        auto = harness.run()
+
+        # Static arm: breaches the SLO and starves logins.
+        assert self._window_p99(static) > self.SLO_MS
+        assert static.gave_up > 0
+
+        # Autoscaled arm: every session served, SLO held post-ramp.
+        assert auto.completed == auto.sessions
+        assert auto.gave_up == 0
+        assert self._window_p99(auto) <= self.SLO_MS
+
+        # It actually scaled: up during the spike, back down after.
+        counts = [c for _, c in auto.timeline.worker_counts()]
+        assert counts[0] == 4
+        assert max(counts) > 8
+        assert counts[-1] == 4  # all elastic nodes deprovisioned
+
+        # And the loop's audit trail shows committed ups and downs.
+        committed = harness.autoscaler.committed_records()
+        kinds = [
+            type(action).__name__
+            for record in committed
+            if record.plan
+            for action in record.plan.actions
+        ]
+        assert "AddWorkers" in kinds
+        assert "RemoveWorker" in kinds
+
+    def test_bit_identical_replay(self):
+        a = self._autoscaled().run()
+        b = self._autoscaled().run()
+        assert a.trace() == b.trace()
+        assert a.timeline.worker_counts() == b.timeline.worker_counts()

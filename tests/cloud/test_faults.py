@@ -1,0 +1,203 @@
+"""Fault injection: nodes die mid-session, the stack reroutes and heals."""
+
+import pytest
+
+from repro.cloud.autoscaler import (
+    Detector,
+    Plan,
+    RebalancePods,
+    SLOConfig,
+    Verifier,
+)
+from repro.cloud.cluster import build_paper_cluster
+from repro.cloud.jupyterhub import HubConfig, JupyterHub
+from repro.cloud.loadgen import (
+    QUICK_MIX,
+    LoadGenConfig,
+    LoadHarness,
+    PoissonArrivals,
+)
+from repro.cloud.metrics import LatencyRecorder
+from repro.cloud.proxy import RoutingError, ServiceProxy
+from repro.cloud.resources import Resources
+
+
+@pytest.fixture
+def stack():
+    cluster = build_paper_cluster(workers=2)
+    hub = JupyterHub(
+        cluster, config=HubConfig(instance_request=Resources.cores(2, 4))
+    )
+    cluster.clock.advance(30)
+    proxy = ServiceProxy(cluster)
+    return cluster, hub, proxy
+
+
+class TestPodKillMidSession:
+    def test_proxy_reroutes_after_node_failure(self, stack):
+        cluster, hub, proxy = stack
+        hub.register_user("alice", "pw")
+        pod = hub.login("alice", "pw")
+        cluster.clock.advance(30)
+        path = f"{hub.config.service_path}/user/alice"
+
+        first = proxy.request("10.0.0.1", hub.config.host, path)
+        assert first.pod is pod
+        home = pod.node
+
+        # Kill the pod's node mid-session: the pod is rescheduled to the
+        # surviving worker; while it restarts, routing reports an outage
+        # (the endpoint cache invalidates itself), then recovers.
+        cluster.fail_node(home)
+        with pytest.raises(RoutingError):
+            proxy.request("10.0.0.1", hub.config.host, path)
+        cluster.clock.advance(cluster.pod_startup_seconds + 1)
+
+        second = proxy.request("10.0.0.1", hub.config.host, path)
+        assert second.pod is pod
+        assert pod.running
+        assert pod.node != home  # genuinely rerouted to the other worker
+
+    def test_detector_flags_failed_node(self, stack):
+        cluster, hub, proxy = stack
+        hub.register_user("bob", "pw")
+        hub.login("bob", "pw")
+        cluster.clock.advance(30)
+        cluster.fail_node("worker-1")
+        diag = Detector(SLOConfig()).diagnose(
+            cluster, LatencyRecorder(), hub, now=cluster.clock.now
+        )
+        assert "node-down" in diag.kinds()
+        assert any(
+            "worker-1" in s.message
+            for s in diag.signals
+            if s.kind == "node-down"
+        )
+
+    def test_session_recovers_within_budget(self, stack):
+        """After failover, the next interaction's latency is back to the
+        unloaded path cost — the outage shows up as routing errors, not
+        as a degraded tail on the healthy stream."""
+        cluster, hub, proxy = stack
+        hub.register_user("carol", "pw")
+        pod = hub.login("carol", "pw")
+        cluster.clock.advance(30)
+        path = f"{hub.config.service_path}/user/carol"
+        baseline = proxy.request("10.0.0.9", hub.config.host, path).latency_ms
+
+        cluster.fail_node(pod.node)
+        cluster.clock.advance(cluster.pod_startup_seconds + 1)
+        recovered = proxy.request("10.0.0.9", hub.config.host, path)
+        # Same latency model bounds: within 2x of the pre-fault request
+        # (the only delta is the possible extra LAN hop to the new node).
+        assert recovered.latency_ms <= 2 * baseline
+
+
+class TestFailNodeEvictsPendingPods:
+    def test_pending_pod_on_failed_node_is_evicted(self, stack):
+        """Regression: a placed-but-still-booting pod on a failing node
+        kept its node pointer while the node's allocation was zeroed —
+        deleting it later drove the allocation negative."""
+        cluster, hub, proxy = stack
+        hub.register_user("dave", "pw")
+        pod = hub.login("dave", "pw")
+        assert not pod.running  # still booting (no clock advance)
+        home = pod.node
+        cluster.fail_node(home)
+        # Evicted and re-placed on the survivor, not left dangling.
+        assert pod.node != home
+        # Deleting the pod must not underflow any node's allocation.
+        hub.logout("dave")
+        for node in cluster.workers():
+            assert node.allocated.cpu_milli >= 0
+
+
+class TestHarnessUnderFaults:
+    def test_sessions_survive_mid_run_node_kill(self):
+        harness = LoadHarness(
+            PoissonArrivals(rate_per_s=2.0, duration_s=20.0, seed=6),
+            QUICK_MIX,
+            seed=6,
+            config=LoadGenConfig(workers=3),
+            autoscale=True,
+            node_startup_s=8.0,
+            reconcile_every_s=5.0,
+        )
+        # Inject the fault at t=15: one worker dies while sessions are
+        # mid-interaction-loop.
+        harness.clock.schedule(
+            15.0, lambda: harness.cluster.fail_node("worker-2")
+        )
+        report = harness.run()
+        assert report.completed == report.sessions
+        assert report.gave_up == 0
+        # The detector saw the dead node at some reconcile cycle.
+        flagged = any(
+            "node-down" in record.diagnosis.kinds()
+            for record in harness.autoscaler.history
+        )
+        assert flagged
+        # Rerouting happened: at least one session had to retry a route.
+        assert sum(o.route_retries for o in report.outcomes) > 0
+
+    def test_fault_run_is_still_deterministic(self):
+        def run():
+            harness = LoadHarness(
+                PoissonArrivals(rate_per_s=2.0, duration_s=15.0, seed=8),
+                QUICK_MIX,
+                seed=8,
+                config=LoadGenConfig(workers=3),
+                autoscale=True,
+                node_startup_s=8.0,
+            )
+            harness.clock.schedule(
+                12.0, lambda: harness.cluster.fail_node("worker-1")
+            )
+            return harness.run()
+
+        assert run().trace() == run().trace()
+
+
+class TestVerifierEvictionRule:
+    def test_rejects_plan_evicting_breaching_sessions(self, stack):
+        """The fault-repair path must not make victims of the wounded:
+        a rebalance that would restart a tenant already above the SLO is
+        refused even though it is capacity-feasible."""
+        cluster, hub, proxy = stack
+        hub.register_user("hurt", "pw")
+        hub.register_user("fine", "pw")
+        hurt_pod = hub.login("hurt", "pw")
+        fine_pod = hub.login("fine", "pw")
+        cluster.clock.advance(30)
+        recorder = LatencyRecorder()
+        t = cluster.clock.now
+        for i in range(10):
+            recorder.observe("scrub", 1200.0, t=t + i, session="hurt")
+            recorder.observe("scrub", 90.0, t=t + i, session="fine")
+
+        def other(pod):
+            return next(
+                n.name
+                for n in cluster.workers()
+                if n.ready and n.name != pod.node
+            )
+
+        slo = SLOConfig(p99_target_ms=400.0)
+        bad = Plan(
+            (RebalancePods(
+                (("rin-exploration", hurt_pod.name,
+                  hurt_pod.node, other(hurt_pod)),)
+            ),),
+            reason="evict the breaching tenant",
+        )
+        good = Plan(
+            (RebalancePods(
+                (("rin-exploration", fine_pod.name,
+                  fine_pod.node, other(fine_pod)),)
+            ),),
+            reason="evict the healthy tenant",
+        )
+        verifier = Verifier(slo)
+        now = cluster.clock.now + 10
+        assert not verifier.verify(bad, cluster, recorder, now=now).approved
+        assert verifier.verify(good, cluster, recorder, now=now).approved

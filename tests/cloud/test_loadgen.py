@@ -1,0 +1,314 @@
+"""Load-harness tests: arrival processes, percentile math, smoke runs."""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.loadgen import (
+    DEFAULT_MIX,
+    QUICK_MIX,
+    BurstArrivals,
+    InteractionMix,
+    InteractionSpec,
+    LoadGenConfig,
+    LoadHarness,
+    NodeLoadTracker,
+    PoissonArrivals,
+    main,
+    run_smoke,
+)
+from repro.cloud.cluster import build_paper_cluster
+from repro.cloud.metrics import percentile
+from repro.cloud.resources import Resources
+
+
+class TestPoissonArrivals:
+    def test_same_seed_identical_trace(self):
+        a = PoissonArrivals(rate_per_s=5.0, duration_s=60.0, seed=123)
+        b = PoissonArrivals(rate_per_s=5.0, duration_s=60.0, seed=123)
+        assert a.times() == b.times()
+
+    def test_different_seed_differs(self):
+        a = PoissonArrivals(rate_per_s=5.0, duration_s=60.0, seed=1)
+        b = PoissonArrivals(rate_per_s=5.0, duration_s=60.0, seed=2)
+        assert a.times() != b.times()
+
+    def test_times_sorted_within_duration(self):
+        times = PoissonArrivals(rate_per_s=3.0, duration_s=40.0, seed=9).times()
+        assert times == sorted(times)
+        assert all(0.0 <= t < 40.0 for t in times)
+
+    def test_empirical_rate_within_tolerance(self):
+        # 2000 expected arrivals: the empirical rate should sit within
+        # ~5 standard deviations of the nominal rate (sigma ≈ sqrt(N)/T).
+        rate, duration = 10.0, 200.0
+        n = len(PoissonArrivals(rate, duration, seed=7).times())
+        expected = rate * duration
+        assert abs(n - expected) < 5 * np.sqrt(expected)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate_per_s=0.0, duration_s=10.0)
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate_per_s=1.0, duration_s=0.0)
+
+    @given(st.integers(0, 2**31), st.floats(0.5, 20.0), st.floats(5.0, 50.0))
+    @settings(max_examples=20, deadline=None)
+    def test_seed_determinism_property(self, seed, rate, duration):
+        a = PoissonArrivals(rate, duration, seed=seed).times()
+        b = PoissonArrivals(rate, duration, seed=seed).times()
+        assert a == b
+
+
+class TestBurstArrivals:
+    def test_same_seed_identical_trace(self):
+        phases = ((30.0, 2.0), (60.0, 10.0), (30.0, 0.0))
+        assert (
+            BurstArrivals(phases, seed=5).times()
+            == BurstArrivals(phases, seed=5).times()
+        )
+
+    def test_phase_rates_respected(self):
+        quiet, burst = (100.0, 1.0), (100.0, 10.0)
+        times = BurstArrivals((quiet, burst), seed=11).times()
+        in_quiet = sum(1 for t in times if t < 100.0)
+        in_burst = sum(1 for t in times if t >= 100.0)
+        # ~100 vs ~1000 arrivals; the burst must dominate by ~10x.
+        assert in_burst > 5 * in_quiet
+        assert abs(in_quiet - 100) < 5 * np.sqrt(100)
+        assert abs(in_burst - 1000) < 5 * np.sqrt(1000)
+
+    def test_zero_rate_phase_is_silent(self):
+        times = BurstArrivals(((50.0, 0.0), (50.0, 2.0)), seed=3).times()
+        assert all(t >= 50.0 for t in times)
+
+    def test_duration_and_validation(self):
+        arr = BurstArrivals(((10.0, 1.0), (20.0, 2.0)), seed=0)
+        assert arr.duration_s == 30.0
+        with pytest.raises(ValueError):
+            BurstArrivals((), seed=0)
+        with pytest.raises(ValueError):
+            BurstArrivals(((0.0, 1.0),), seed=0)
+        with pytest.raises(ValueError):
+            BurstArrivals(((10.0, -1.0),), seed=0)
+
+
+class TestPercentileDifferential:
+    """Pin our pure-python percentile to numpy's default method exactly."""
+
+    @given(
+        st.lists(
+            st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=300,
+        ),
+        st.floats(0.0, 100.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_matches_numpy(self, samples, q):
+        ours = percentile(samples, q)
+        theirs = float(np.percentile(np.array(samples), q))
+        assert ours == pytest.approx(theirs, rel=1e-12, abs=1e-9)
+
+    def test_exact_on_known_values(self):
+        samples = [10.0, 20.0, 30.0, 40.0]
+        for q in (0, 25, 50, 75, 99, 100):
+            assert percentile(samples, q) == float(np.percentile(samples, q))
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestInteractionMix:
+    def test_pick_is_seed_deterministic(self):
+        a = np.random.default_rng(3)
+        b = np.random.default_rng(3)
+        picks_a = [DEFAULT_MIX.pick(a).name for _ in range(50)]
+        picks_b = [DEFAULT_MIX.pick(b).name for _ in range(50)]
+        assert picks_a == picks_b
+
+    def test_weights_shape_distribution(self):
+        rng = np.random.default_rng(0)
+        picks = [DEFAULT_MIX.pick(rng).name for _ in range(2000)]
+        counts = {s.name: picks.count(s.name) for s in DEFAULT_MIX.specs}
+        # scrub (weight 4) must be drawn more than cutoff_scan (weight 2).
+        assert counts["scrub"] > counts["cutoff_scan"]
+
+    def test_think_within_range(self):
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            lo, hi = DEFAULT_MIX.think_s
+            assert lo <= DEFAULT_MIX.think(rng) <= hi
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InteractionMix("bad", (), (0.1, 0.2), 3)
+        with pytest.raises(ValueError):
+            InteractionMix(
+                "bad",
+                (InteractionSpec("x", 10.0, Resources.cores(1, 1), 5.0),),
+                (0.1, 0.2),
+                0,
+            )
+
+
+class TestNodeLoadTracker:
+    def test_slowdown_grows_with_concurrency(self):
+        cluster = build_paper_cluster(workers=1)
+        tracker = NodeLoadTracker(cluster)
+        demand = Resources.cores(16, 4)  # half of a 32-core worker
+        assert tracker.acquire("worker-0", demand) == 1.0
+        assert tracker.acquire("worker-0", demand) == 1.0  # exactly full
+        assert tracker.acquire("worker-0", demand) == pytest.approx(1.5)
+        tracker.release("worker-0", demand)
+        tracker.release("worker-0", demand)
+        assert tracker.demand_milli("worker-0") == 16_000
+
+    def test_unknown_node_is_neutral(self):
+        cluster = build_paper_cluster(workers=1)
+        tracker = NodeLoadTracker(cluster)
+        assert tracker.acquire(None, Resources.cores(8, 2)) == 1.0
+        assert tracker.acquire("ghost", Resources.cores(8, 2)) == 1.0
+        tracker.release(None, Resources.cores(8, 2))
+
+    def test_release_never_goes_negative(self):
+        cluster = build_paper_cluster(workers=1)
+        tracker = NodeLoadTracker(cluster)
+        tracker.release("worker-0", Resources.cores(4, 1))
+        assert tracker.demand_milli("worker-0") == 0
+
+
+class TestLoadHarness:
+    def test_small_run_completes_all_sessions(self):
+        harness = LoadHarness(
+            PoissonArrivals(rate_per_s=2.0, duration_s=20.0, seed=1),
+            QUICK_MIX,
+            seed=1,
+        )
+        report = harness.run()
+        assert report.sessions > 0
+        assert report.completed == report.sessions
+        assert len(report.recorder) == sum(
+            o.interactions for o in report.outcomes
+        )
+        assert report.recorder.classes()  # something was classified
+
+    def test_bit_identical_from_seed(self):
+        def run():
+            return LoadHarness(
+                BurstArrivals(((10.0, 3.0), (20.0, 8.0)), seed=4),
+                QUICK_MIX,
+                seed=4,
+                autoscale=True,
+            ).run()
+
+        assert run().trace() == run().trace()
+
+    def test_different_seed_different_trace(self):
+        def run(seed):
+            return LoadHarness(
+                PoissonArrivals(3.0, 20.0, seed=seed), QUICK_MIX, seed=seed
+            ).run()
+
+        assert run(1).trace() != run(2).trace()
+
+    def test_utilization_timeline_sampled(self):
+        report = LoadHarness(
+            PoissonArrivals(2.0, 15.0, seed=0), QUICK_MIX, seed=0
+        ).run()
+        assert report.timeline.samples
+        assert report.timeline.worker_counts()[0][1] == 2
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError, match="session_mode"):
+            LoadHarness(
+                PoissonArrivals(1.0, 5.0),
+                QUICK_MIX,
+                config=LoadGenConfig(session_mode="nope"),
+            )
+        with pytest.raises(ValueError, match="scheduler_strategy"):
+            LoadHarness(
+                PoissonArrivals(1.0, 5.0),
+                QUICK_MIX,
+                config=LoadGenConfig(scheduler_strategy="nope"),
+            )
+
+    def test_budget_feed_charges_sessions(self):
+        class FakeComputeSession:
+            def __init__(self, name):
+                self.name = name
+                self.charged = 0.0
+                self.closed = False
+
+            def charge(self, ms):
+                self.charged += ms
+
+            def close(self):
+                self.closed = True
+
+        class FakeService:
+            def __init__(self):
+                self.sessions = {}
+
+            def session(self, name, *, budget_ms):
+                s = FakeComputeSession(name)
+                self.sessions[name] = s
+                return s
+
+        service = FakeService()
+        report = LoadHarness(
+            PoissonArrivals(2.0, 10.0, seed=5),
+            QUICK_MIX,
+            seed=5,
+            config=LoadGenConfig(budget_service=service),
+        ).run()
+        assert report.completed == report.sessions
+        assert len(service.sessions) == report.sessions
+        assert all(s.closed for s in service.sessions.values())
+        assert all(s.charged > 0 for s in service.sessions.values())
+
+
+class TestWidgetMode:
+    def test_small_n_real_sessions(self):
+        harness = LoadHarness(
+            PoissonArrivals(rate_per_s=1.0, duration_s=3.0, seed=2),
+            QUICK_MIX,
+            seed=2,
+            config=LoadGenConfig(session_mode="widget", max_sessions=2),
+        )
+        report = harness.run()
+        assert report.sessions <= 2
+        assert report.completed == report.sessions
+        # Real measured latencies, one event per interaction.
+        if report.sessions:
+            assert all(e.latency_ms > 0 for e in report.recorder.events())
+
+
+class TestSmokeCLI:
+    def test_run_smoke_completes(self):
+        report = run_smoke(seed=3, sessions=100)
+        assert report.sessions == 100
+        assert report.completed >= 90
+        assert report.p99() is not None
+
+    def test_main_smoke_exit_code(self, capsys):
+        assert main(["--smoke", "--sessions", "80", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "sessions completed" in out
+        assert "p99" in out
+
+    def test_main_json_output(self, capsys):
+        assert main(["--smoke", "--sessions", "60", "--json"]) == 0
+        digest = json.loads(capsys.readouterr().out)
+        assert digest["sessions"] == 60
+        assert "per_class" in digest and "overall" in digest
+
+    def test_main_requires_smoke_flag(self):
+        with pytest.raises(SystemExit):
+            main([])

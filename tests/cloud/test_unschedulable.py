@@ -1,0 +1,220 @@
+"""Typed Unschedulable outcome + the hub's 429-style admission control."""
+
+import pytest
+
+from repro.cloud.cluster import Node, NodeRole, build_paper_cluster
+from repro.cloud.jupyterhub import AdmissionDeferred, HubConfig, JupyterHub
+from repro.cloud.resources import Resources
+from repro.cloud.scheduler import Placement, Unschedulable
+
+
+def tiny_cluster():
+    """One worker barely big enough for the hub pod and nothing else."""
+    cluster = build_paper_cluster(
+        workers=1, worker_resources=Resources.cores(2, 4)
+    )
+    return cluster
+
+
+class TestTypedOutcome:
+    def test_placement_for_returns_placement(self):
+        cluster = build_paper_cluster(workers=2)
+        placement = cluster.scheduler.placement_for(Resources.cores(4, 8))
+        assert isinstance(placement, Placement)
+        assert placement.node in {"worker-0", "worker-1"}
+
+    def test_unschedulable_carries_request_and_node_reasons(self):
+        cluster = build_paper_cluster(workers=2)
+        huge = Resources.cores(64, 128)
+        with pytest.raises(Unschedulable) as exc:
+            cluster.scheduler.placement_for(huge)
+        outcome = exc.value
+        assert outcome.requests == huge
+        assert outcome.reason
+        assert set(outcome.node_reasons) == {"worker-0", "worker-1"}
+        assert all(
+            "insufficient capacity" in r
+            for r in outcome.node_reasons.values()
+        )
+
+    def test_not_ready_nodes_reported_as_such(self):
+        cluster = build_paper_cluster(workers=2)
+        cluster.nodes["worker-0"].ready = False
+        with pytest.raises(Unschedulable) as exc:
+            cluster.scheduler.placement_for(Resources.cores(64, 128))
+        assert exc.value.node_reasons["worker-0"] == "node not ready"
+
+    def test_exclude_is_reported(self):
+        cluster = build_paper_cluster(workers=1)
+        with pytest.raises(Unschedulable) as exc:
+            cluster.scheduler.placement_for(
+                Resources.cores(1, 1), exclude={"worker-0"}
+            )
+        assert "excluded" in exc.value.node_reasons["worker-0"]
+
+    def test_feasible_probe(self):
+        cluster = build_paper_cluster(workers=1)
+        assert cluster.scheduler.feasible(Resources.cores(4, 8))
+        assert not cluster.scheduler.feasible(Resources.cores(64, 128))
+
+    def test_move_pod_refusal_is_typed(self):
+        cluster = build_paper_cluster(workers=2)
+        hub = JupyterHub(cluster)
+        hub.register_user("u", "pw")
+        pod = hub.login("u", "pw")
+        cluster.clock.advance(30)
+        target = next(
+            n for n in cluster.workers() if n.name != pod.node
+        )
+        target.capacity = Resources.cores(1, 1)  # nothing fits any more
+        with pytest.raises(Unschedulable):
+            cluster.scheduler.move_pod(pod, target.name)
+
+    def test_drain_plan_refusal_is_typed(self):
+        cluster = build_paper_cluster(
+            workers=2, worker_resources=Resources.cores(4, 8)
+        )
+        hub = JupyterHub(
+            cluster, config=HubConfig(instance_request=Resources.cores(3, 6))
+        )
+        cluster.clock.advance(30)
+        hub.register_user("u1", "pw")
+        hub.register_user("u2", "pw")
+        hub.login("u1", "pw")
+        hub.login("u2", "pw")
+        cluster.clock.advance(30)
+        # Both workers are now nearly full: draining either must fail
+        # with the typed outcome, never a bare RuntimeError.
+        occupied = [
+            n.name
+            for n in cluster.workers()
+            if cluster.scheduler.pods_on(n.name)
+        ]
+        with pytest.raises(Unschedulable):
+            cluster.scheduler.drain_plan(occupied[0])
+
+
+class TestPlacementStrategy:
+    def test_binpack_packs_spread_spreads(self):
+        def place_two(strategy):
+            cluster = build_paper_cluster(workers=2)
+            cluster.scheduler.strategy = strategy
+            cluster.create_namespace("default")
+            from repro.cloud.objects import Pod
+
+            nodes = []
+            for i in range(2):
+                pod = cluster.create_pod(
+                    Pod(
+                        name=f"p{i}",
+                        namespace="default",
+                        image="img",
+                        requests=Resources.cores(2, 4),
+                        limits=Resources.cores(4, 8),
+                    )
+                )
+                nodes.append(pod.node)
+            return nodes
+
+        packed = place_two("binpack")
+        spread = place_two("spread")
+        assert packed[0] == packed[1]  # best fit stays dense
+        assert spread[0] != spread[1]  # worst fit spreads immediately
+
+    def test_unknown_strategy_rejected(self):
+        from repro.cloud.scheduler import Scheduler
+
+        cluster = build_paper_cluster(workers=1)
+        with pytest.raises(ValueError, match="strategy"):
+            Scheduler(cluster, strategy="wat")
+
+
+class TestSpawnPath:
+    def test_spawn_raises_typed_outcome_before_creating_anything(self):
+        """Regression: a refused spawn used to leave a forever-pending pod
+        behind and only surface later as a bare RuntimeError."""
+        cluster = tiny_cluster()
+        hub = JupyterHub(cluster)  # hub pod eats the worker
+        cluster.clock.advance(30)
+        hub.register_user("alice", "pw")
+        pods_before = set(cluster.namespaces["rin-exploration"].pods)
+        with pytest.raises(Unschedulable):
+            hub.login("alice", "pw")
+        pods_after = set(cluster.namespaces["rin-exploration"].pods)
+        assert pods_before == pods_after  # nothing half-created
+        assert "alice" not in hub.active_users
+
+    def test_admission_control_defers_instead(self):
+        cluster = tiny_cluster()
+        hub = JupyterHub(
+            cluster,
+            config=HubConfig(
+                admission_control=True, admission_retry_after_s=7.0
+            ),
+        )
+        cluster.clock.advance(30)
+        hub.register_user("bob", "pw")
+        with pytest.raises(AdmissionDeferred) as exc:
+            hub.login("bob", "pw")
+        deferred = exc.value
+        assert deferred.status == 429
+        assert deferred.retry_after_s == 7.0
+        assert deferred.reason
+        # The deferral chains from the typed scheduler outcome.
+        assert isinstance(deferred.__cause__, Unschedulable)
+        # ... and is recorded for the autoscaler's detector.
+        assert hub.deferrals_since(0.0) == 1
+        assert hub.waiting_users(0.0) == ["bob"]
+
+    def test_deferred_login_succeeds_after_capacity_arrives(self):
+        cluster = tiny_cluster()
+        hub = JupyterHub(
+            cluster, config=HubConfig(admission_control=True)
+        )
+        cluster.clock.advance(30)
+        hub.register_user("carol", "pw")
+        with pytest.raises(AdmissionDeferred):
+            hub.login("carol", "pw")
+        cluster.add_node(
+            Node("worker-new", NodeRole.WORKER, Resources.cores(8, 16))
+        )
+        pod = hub.login("carol", "pw")  # the 429 retry, now admitted
+        assert pod.name == "jupyter-carol"
+        cluster.clock.advance(30)
+        assert pod.running
+        assert hub.waiting_users(0.0) == []  # no longer waiting
+
+    def test_both_paths_regression(self):
+        """Same cluster state, both admission modes: typed Unschedulable
+        without admission control, AdmissionDeferred with it."""
+        for admission, expected in (
+            (False, Unschedulable),
+            (True, AdmissionDeferred),
+        ):
+            cluster = tiny_cluster()
+            hub = JupyterHub(
+                cluster, config=HubConfig(admission_control=admission)
+            )
+            cluster.clock.advance(30)
+            hub.register_user("dave", "pw")
+            with pytest.raises(expected):
+                hub.login("dave", "pw")
+
+    def test_failed_scheduling_event_recorded_for_pending_pod(self):
+        """The reconcile path (not spawn) records FailedScheduling with
+        the typed outcome's reason instead of crashing."""
+        cluster = build_paper_cluster(workers=1)
+        from repro.cloud.objects import Pod
+
+        cluster.create_namespace("default")
+        cluster.create_pod(
+            Pod(
+                name="big",
+                namespace="default",
+                image="img",
+                requests=Resources.cores(64, 128),
+                limits=Resources.cores(64, 128),
+            )
+        )
+        events = [e for e in cluster.events if e.kind == "FailedScheduling"]
+        assert events and "no worker fits" in events[0].message

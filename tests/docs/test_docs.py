@@ -2,9 +2,9 @@
 
 Four layers of protection, all cheap enough for tier-1:
 
-* every ``python`` fenced block in ``docs/API.md`` and ``docs/KERNELS.md``
-  executes, in order, in one shared namespace per document (the blocks
-  are written as a continuous session);
+* every ``python`` fenced block in ``docs/API.md``, ``docs/CLOUD.md``
+  and ``docs/KERNELS.md`` executes, in order, in one shared namespace
+  per document (the blocks are written as a continuous session);
 * every cross-reference in ``docs/*.md`` resolves: markdown links point
   at files that exist, ``#anchor`` fragments and ``[[...]]``-style
   anchors match a real heading slug somewhere in the docs;
@@ -32,7 +32,7 @@ _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _WIKI_ANCHOR = re.compile(r"\[\[([^\]]+)\]\]")
 _HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
-_EXECUTABLE_DOCS = ["API.md", "KERNELS.md"]
+_EXECUTABLE_DOCS = ["API.md", "CLOUD.md", "KERNELS.md"]
 
 
 def python_blocks(path: Path) -> list[str]:
@@ -128,12 +128,15 @@ class TestDocsLinks:
     def test_docs_exist(self):
         assert (DOCS / "ARCHITECTURE.md").is_file()
         assert (DOCS / "API.md").is_file()
+        assert (DOCS / "CLOUD.md").is_file()
         assert (DOCS / "KERNELS.md").is_file()
 
     def test_docs_link_each_other(self):
         assert "API.md" in (DOCS / "ARCHITECTURE.md").read_text()
+        assert "CLOUD.md" in (DOCS / "ARCHITECTURE.md").read_text()
         assert "KERNELS.md" in (DOCS / "ARCHITECTURE.md").read_text()
         assert "ARCHITECTURE.md" in (DOCS / "API.md").read_text()
+        assert "ARCHITECTURE.md" in (DOCS / "CLOUD.md").read_text()
         assert "ARCHITECTURE.md" in (DOCS / "KERNELS.md").read_text()
 
     def test_readme_links_docs_and_bench(self):

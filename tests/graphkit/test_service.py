@@ -247,6 +247,67 @@ class TestCrashRecovery:
             lease.close()
 
 
+class TestBudgetFeed:
+    """The per-session budget feed the cloud autoscaler drives live."""
+
+    def test_set_budget_reweights_at_next_dispatch(self):
+        sess = ComputeSession("tenant", budget_ms=1000.0)
+        sess.spent_ms = 500.0
+        before = sess.priority
+        sess.set_budget(5000.0)  # bigger budget → lower spend fraction
+        assert sess.priority < before
+        with pytest.raises(ValueError):
+            sess.set_budget(0.0)
+        with pytest.raises(ValueError):
+            sess.set_budget(-10.0)
+
+    def test_charge_accounts_external_milliseconds(self):
+        sess = ComputeSession("tenant", budget_ms=1000.0)
+        sess.charge(250.0)
+        sess.charge(50.0)
+        assert sess.spent_ms == 300.0
+        with pytest.raises(ValueError):
+            sess.charge(-1.0)
+
+    def test_charged_spend_competes_with_real_spend(self):
+        """Cloud-modeled milliseconds land in the same deficit-fair
+        account: a session charged externally is deprioritized exactly
+        like one that burned the pool."""
+        modeled = ComputeSession("modeled", budget_ms=1000.0)
+        real = ComputeSession("real", budget_ms=1000.0)
+        modeled.charge(900.0)
+        real.spent_ms = 100.0
+        assert real.priority < modeled.priority
+
+    def test_service_level_rebudget(self):
+        with ComputeService(workers=0) as svc:
+            sess = svc.session("tenant", budget_ms=100.0)
+            svc.set_session_budget("tenant", 7000.0)
+            assert sess.budget_ms == 7000.0
+            with pytest.raises(KeyError):
+                svc.set_session_budget("ghost", 100.0)
+
+    def test_cloud_session_requires_shared_compute(self):
+        """CloudSession.set_solve_budget refuses silently-inert calls."""
+        from repro.cloud import JupyterHub, ServiceProxy, build_paper_cluster
+
+        cluster = build_paper_cluster(workers=2)
+        hub = JupyterHub(cluster)
+        cluster.clock.advance(30)
+        proxy = ServiceProxy(cluster)
+        hub.register_user("u", "pw")
+        from repro.cloud.session import CloudSession
+
+        session = CloudSession(
+            hub, proxy, "u", "pw", engine="thread", client_address="10.0.0.1"
+        )
+        try:
+            with pytest.raises(RuntimeError, match="no shared compute"):
+                session.set_solve_budget(500.0)
+        finally:
+            session.close()
+
+
 class TestGlobalSingleton:
     def test_get_creates_once(self):
         svc = get_compute_service()
