@@ -4,7 +4,14 @@ edges.
 
 We benchmark the Maxent-Stress layout + figure build at the paper's exact
 size and assert the 50k-node end-to-end time stays in the single-digit
-seconds the paper claims.
+seconds the paper claims. The paper-era timing claims are about the
+sampled-repulsion engine, so those tests pin ``impl="sampled"`` — the
+``impl="auto"`` default now routes graphs of this size to Barnes-Hut,
+which buys accuracy (exact unknown-pair gradient to a theta-bounded
+approximation error) at a higher per-sweep cost. The Barnes-Hut arm has
+its own quality-vs-time case below; the 50k end-to-end runs carry
+``@pytest.mark.slow`` so the default collection stays interactive
+(deselect with ``-m "not slow"``).
 """
 
 import time
@@ -13,7 +20,7 @@ import numpy as np
 import pytest
 
 from repro.bench import FIG4_GRAPH_SIZE, fig4_graph, layout_scale_graph
-from repro.graphkit.layout import maxent_stress_layout
+from repro.graphkit.layout import maxent_stress_layout, maxent_stress_value
 from repro.vizbridge import plotly_widget
 
 
@@ -31,7 +38,7 @@ def test_layout_4941_nodes(benchmark, paper_graph):
     coords = benchmark(
         lambda: maxent_stress_layout(
             paper_graph, dim=3, k=1, seed=1, iterations_per_alpha=8,
-            repulsion_samples=4,
+            repulsion_samples=4, impl="sampled",
         )
     )
     assert coords.shape == (4941, 3)
@@ -41,30 +48,36 @@ def test_layout_4941_nodes(benchmark, paper_graph):
 def test_figure_build_4941_nodes(benchmark, paper_graph):
     coords = maxent_stress_layout(
         paper_graph, dim=3, k=1, seed=1, iterations_per_alpha=8,
-        repulsion_samples=4,
+        repulsion_samples=4, impl="sampled",
     )
     fig = benchmark(lambda: plotly_widget(paper_graph, coords=coords))
     assert fig.trace(0).n_points == 4941
     assert fig.trace(1).n_elements() == paper_graph.number_of_edges()
 
 
-@pytest.mark.parametrize("n", [1000, 10000])
+@pytest.mark.parametrize(
+    "n",
+    [1000, pytest.param(10000, marks=pytest.mark.slow)],
+)
 def test_layout_scaling_sweep(benchmark, n):
     g = layout_scale_graph(n)
     coords = benchmark(
         lambda: maxent_stress_layout(
-            g, dim=3, k=1, seed=1, iterations_per_alpha=6, repulsion_samples=4
+            g, dim=3, k=1, seed=1, iterations_per_alpha=6,
+            repulsion_samples=4, impl="sampled",
         )
     )
     assert coords.shape == (n, 3)
 
 
+@pytest.mark.slow
 def test_fifty_k_nodes_in_a_few_seconds():
     """The headline Figure 4 claim, asserted end-to-end (single run)."""
     g = layout_scale_graph(50_000)
     t0 = time.perf_counter()
     coords = maxent_stress_layout(
-        g, dim=3, k=1, seed=1, iterations_per_alpha=6, repulsion_samples=4
+        g, dim=3, k=1, seed=1, iterations_per_alpha=6,
+        repulsion_samples=4, impl="sampled",
     )
     fig = plotly_widget(g, coords=coords)
     elapsed = time.perf_counter() - t0
@@ -72,3 +85,31 @@ def test_fifty_k_nodes_in_a_few_seconds():
           f"(m={g.number_of_edges()})")
     assert fig.trace(0).n_points == 50_000
     assert elapsed < 30.0  # "a few seconds" on the paper's M1; CI slack
+
+
+@pytest.mark.slow
+def test_fifty_k_barnes_hut_polish_beats_sampled_quality():
+    """The Barnes-Hut arm: polishing a cheap sampled embedding with the
+    tree engine reaches a stress the sampled estimator never does.
+
+    The sampled estimator is *biased* at 50k — rare near-neighbor hits
+    scaled by ``(n-1-deg)/q`` dominate its variance — so more samples do
+    not buy convergence; the tree's theta-bounded field does.
+    """
+    g = layout_scale_graph(50_000)
+    csr = g.csr()
+    x0 = maxent_stress_layout(
+        g, dim=3, k=1, seed=1, iterations_per_alpha=2,
+        repulsion_samples=4, impl="sampled",
+    )
+    s0 = maxent_stress_value(csr, x0)
+    t0 = time.perf_counter()
+    xb = maxent_stress_layout(
+        g, dim=3, k=1, seed=1, initial=x0, alpha=0.008,
+        iterations_per_alpha=4, impl="barnes_hut",
+    )
+    elapsed = time.perf_counter() - t0
+    sb = maxent_stress_value(csr, xb)
+    print(f"\n50k BH polish: {elapsed:.2f} s, stress {s0:.3g} -> {sb:.3g}")
+    assert np.isfinite(xb).all()
+    assert sb < s0  # the polish must strictly improve the embedding

@@ -87,6 +87,7 @@ def _maxent_solve_shard(payload: dict, arrays: dict) -> np.ndarray:
         seed=payload["seed"],
         initial=payload["initial"],
         cancel=payload["cancel"],
+        **payload.get("params", {}),
     )
 
 
@@ -113,6 +114,12 @@ class UpdatePipeline:
         Browser DOM cost simulator (perceived latency).
     layout_seed / layout_warm_start:
         Maxent-Stress determinism and warm-start behaviour.
+    layout_params:
+        Extra :func:`~repro.graphkit.layout.maxent_stress_layout`
+        keywords forwarded to every solve, in-process or out — e.g.
+        ``{"impl": "barnes_hut", "repulsion_theta": 1.0}`` to pin the
+        repulsion engine, or schedule knobs for coarser interactive
+        solves. ``initial``/``seed``/``cancel`` stay pipeline-owned.
     cancel_check:
         Optional zero-argument callable polled between pipeline stages and
         at layout solver-iteration granularity. When it returns True the
@@ -152,6 +159,7 @@ class UpdatePipeline:
         client: ClientSimulator | None = None,
         layout_seed: int = 42,
         layout_warm_start: bool = True,
+        layout_params: dict | None = None,
         cancel_check: Callable[[], bool] | None = None,
         engine: str = "thread",
         compute: str = "shared",
@@ -159,6 +167,10 @@ class UpdatePipeline:
     ):
         if engine not in _ENGINES:
             raise ValueError(f"engine must be one of {_ENGINES}, got {engine!r}")
+        layout_params = dict(layout_params or {})
+        for reserved in ("initial", "seed", "cancel"):
+            if reserved in layout_params:
+                raise ValueError(f"layout_params may not override {reserved!r}")
         if compute not in _COMPUTE_MODES:
             raise ValueError(
                 f"compute must be one of {_COMPUTE_MODES}, got {compute!r}"
@@ -168,6 +180,7 @@ class UpdatePipeline:
         self._client = client or ClientSimulator()
         self._layout_seed = layout_seed
         self._warm_start = layout_warm_start
+        self._layout_params = layout_params
         self._cancel_check = cancel_check
         self._engine_kind = engine
         self._compute = compute
@@ -300,6 +313,7 @@ class UpdatePipeline:
             seed=self._layout_seed,
             initial=initial,
             cancel=self._cancel_check,
+            **self._layout_params,
         )
 
     def _solve_out_of_process(self, initial: np.ndarray | None) -> np.ndarray:
@@ -325,6 +339,7 @@ class UpdatePipeline:
                 "seed": self._layout_seed,
                 "initial": initial,
                 "cancel": self._solver_flag,
+                "params": self._layout_params,
             },
         )
         while True:
@@ -555,6 +570,7 @@ class AsyncUpdatePipeline:
         client: ClientSimulator | None = None,
         layout_seed: int = 42,
         layout_warm_start: bool = True,
+        layout_params: dict | None = None,
         debounce_ms: float = 0.0,
         on_result: Callable[[int, UpdateTiming], None] | None = None,
         engine: str = "thread",
@@ -585,6 +601,7 @@ class AsyncUpdatePipeline:
             client=client,
             layout_seed=layout_seed,
             layout_warm_start=layout_warm_start,
+            layout_params=layout_params,
             cancel_check=self._is_stale,
             engine=engine,
             compute=compute,

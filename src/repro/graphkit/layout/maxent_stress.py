@@ -10,10 +10,13 @@ switch (Listing 1: ``nk.viz.MaxentStress(G, 3, 3)``). The model minimizes
 
 where ``S`` contains node pairs with known target distances (graph
 neighbourhoods up to ``k`` hops) and the entropy term keeps unknown pairs
-apart. We use the local iteration of Gansner et al. with sampled repulsion
-(the sampling stands in for NetworKit's well-separated pair decomposition)
-and geometric α-annealing — fully vectorized over arcs, so one iteration
-is O(|S| + n·q) NumPy work.
+apart. We use the local iteration of Gansner et al. with geometric
+α-annealing, fully vectorized over arcs. The entropy gradient has two
+engines: sampled repulsion (O(n·q) per sweep; the historical default) and
+a Barnes-Hut octree (:mod:`~repro.graphkit.layout.bhtree`, O(n log n) per
+sweep over *all* unknown pairs — the analog of NetworKit's
+well-separated pair decomposition); ``impl="auto"`` switches to the tree
+at :data:`BARNES_HUT_THRESHOLD` nodes.
 """
 
 from __future__ import annotations
@@ -25,11 +28,44 @@ import numpy as np
 from ..csr import CSRGraph
 from ..graph import Graph
 from ..kernels import batched_bfs_distances, source_blocks
+from .bhtree import BarnesHutTree
 
-__all__ = ["MaxentStress", "maxent_stress_layout"]
+__all__ = [
+    "MaxentStress",
+    "maxent_stress_layout",
+    "maxent_stress_value",
+    "BARNES_HUT_THRESHOLD",
+]
 
 _EPS = 1e-9
-_IMPLEMENTATIONS = ("vectorized", "reference")
+#: ``impl="auto"`` switches from the sampled estimator to Barnes-Hut at
+#: this node count: below it the O(n·q) sampled sweep is cheaper than a
+#: tree build + evaluation; above it the O(n²)-equivalent variance of
+#: sampling (and the cost of raising q to compensate) loses to the
+#: O(n log n) tree.
+BARNES_HUT_THRESHOLD = 4096
+#: ``"sampled"`` is the canonical name of the vectorized sampled-repulsion
+#: engine; ``"vectorized"`` is its historical alias (same code path,
+#: bit-identical). ``"barnes_hut"`` replaces sampling with theta-gated
+#: tree-approximated repulsion over *all* unknown pairs; ``"auto"`` picks
+#: by node count (:data:`BARNES_HUT_THRESHOLD`).
+_IMPLEMENTATIONS = ("auto", "barnes_hut", "sampled", "vectorized", "reference")
+
+# Per-sweep displacement cap for the Barnes-Hut engine, in units of the
+# layout scale (mean target distance). Large enough that legitimate
+# majorization moves are never touched; small enough to stop the
+# singular-gradient teleports described at the use site.
+_BH_STEP_SCALES = 100.0
+
+
+def _resolve_impl(impl: str, n: int) -> str:
+    if impl not in _IMPLEMENTATIONS:
+        raise ValueError(f"impl must be one of {_IMPLEMENTATIONS}, got {impl!r}")
+    if impl == "auto":
+        return "barnes_hut" if n >= BARNES_HUT_THRESHOLD else "sampled"
+    if impl == "vectorized":
+        return "sampled"
+    return impl
 
 
 def _khop_pairs_reference(
@@ -133,7 +169,7 @@ def _known_pairs(
     dists = [np.maximum(csr.weights, _EPS)]
     if k > 1:
         khop = (
-            _khop_pairs_vectorized if impl == "vectorized" else _khop_pairs_reference
+            _khop_pairs_reference if impl == "reference" else _khop_pairs_vectorized
         )
         extra_t, extra_h, extra_d = khop(csr, k, max_pairs_per_node)
         if len(extra_t):
@@ -153,10 +189,11 @@ def maxent_stress_layout(
     alpha_decay: float = 0.5,
     iterations_per_alpha: int = 12,
     repulsion_samples: int = 8,
+    repulsion_theta: float = 0.8,
     tol: float = 1e-4,
     seed: int | None = 42,
     initial: np.ndarray | None = None,
-    impl: str = "vectorized",
+    impl: str = "auto",
     cancel: Callable[[], bool] | None = None,
 ) -> np.ndarray:
     """Compute an ``(n, dim)`` Maxent-Stress embedding.
@@ -175,8 +212,13 @@ def maxent_stress_layout(
     iterations_per_alpha:
         Local-iteration sweeps per annealing stage.
     repulsion_samples:
-        Sampled far-pairs per node per sweep (q). 0 disables the entropy
-        term (classic sparse stress).
+        Sampled far-pairs per node per sweep (q), used by the sampled
+        engine only. 0 disables the entropy term (classic sparse stress)
+        in *every* engine, Barnes-Hut included.
+    repulsion_theta:
+        Barnes-Hut opening angle (``impl="barnes_hut"`` only): smaller is
+        more accurate and more expensive; the approximation error is
+        bounded by :func:`~repro.graphkit.layout.bhtree.force_error_bound`.
     tol:
         Early stop when mean displacement per sweep falls below
         ``tol × layout scale``.
@@ -184,9 +226,16 @@ def maxent_stress_layout(
         Warm-start coordinates, e.g. the previous frame's layout — this is
         what makes widget frame switches cheaper than cold layouts.
     impl:
-        ``"vectorized"`` (default) uses batched BFS for pair discovery and
-        bincount scatter-adds in the local iteration; ``"reference"`` uses
-        per-node BFS and ``np.add.at`` — same model, naive kernels.
+        ``"auto"`` (default) picks ``"barnes_hut"`` at or above
+        :data:`BARNES_HUT_THRESHOLD` nodes and ``"sampled"`` below it.
+        ``"sampled"`` (alias ``"vectorized"``, the historical name) uses
+        batched BFS for pair discovery, bincount scatter-adds, and the
+        sampled repulsion estimator; ``"barnes_hut"`` shares those sweep
+        kernels but evaluates the entropy gradient over *all* unknown
+        pairs through a theta-gated octree — deterministic (no sampling
+        noise) and bounded-error rather than bit-identical to the exact
+        sum. ``"reference"`` uses per-node BFS and ``np.add.at`` — same
+        model, naive kernels.
     cancel:
         Optional zero-argument callable polled once per local-iteration
         sweep (solver-iteration granularity). When it returns True the
@@ -194,10 +243,9 @@ def maxent_stress_layout(
         the async update pipeline uses this to abandon a stale slider
         event while keeping the partial embedding as the next warm start.
     """
-    if impl not in _IMPLEMENTATIONS:
-        raise ValueError(f"impl must be one of {_IMPLEMENTATIONS}, got {impl!r}")
     csr = g.csr() if isinstance(g, Graph) else g
     n = csr.n
+    impl = _resolve_impl(impl, n)
     if dim < 1:
         raise ValueError(f"dim must be >= 1, got {dim}")
     if n == 0:
@@ -220,7 +268,7 @@ def maxent_stress_layout(
     rho = np.maximum(rho, _EPS)
     degrees = csr.degrees()
 
-    if impl == "vectorized":
+    if impl != "reference":
         # Segment scatter: one bincount per coordinate axis (compiled
         # accumulation) instead of the element-at-a-time np.add.at ufunc.
         def scatter_add(agg: np.ndarray, contrib: np.ndarray) -> None:
@@ -248,16 +296,46 @@ def maxent_stress_layout(
             scatter_add(agg, contrib)
 
             if repulsion_samples > 0 and a > 0.0 and n > 1:
-                q = min(repulsion_samples, n - 1)
-                far = rng.integers(0, n, size=(n, q))
-                rdiff = x[:, None, :] - x[far]  # (n, q, dim)
-                rdist2 = np.einsum("ijk,ijk->ij", rdiff, rdiff)
-                np.maximum(rdist2, _EPS, out=rdist2)
-                rep = (rdiff / rdist2[:, :, None]).sum(axis=1)
-                # Scale sample mean to the (n - 1 - deg) unknown pairs.
-                unknown = np.maximum(n - 1 - degrees, 0)[:, None]
-                rep *= unknown / q
+                if impl == "barnes_hut":
+                    # All-pairs repulsion through the theta-gated tree,
+                    # minus the exact contribution of the known (stress)
+                    # arcs so the entropy gradient covers precisely the
+                    # unknown pairs. Deterministic: no rng draw here, so
+                    # warm-started re-solves are reproducible.
+                    rep = BarnesHutTree(x).repulsion(repulsion_theta)
+                    known = diff / np.maximum(dist * dist, _EPS)[:, None]
+                    krep = np.zeros_like(x)
+                    scatter_add(krep, known)
+                    rep -= krep
+                else:
+                    q = min(repulsion_samples, n - 1)
+                    far = rng.integers(0, n, size=(n, q))
+                    rdiff = x[:, None, :] - x[far]  # (n, q, dim)
+                    rdist2 = np.einsum("ijk,ijk->ij", rdiff, rdiff)
+                    np.maximum(rdist2, _EPS, out=rdist2)
+                    rep = (rdiff / rdist2[:, :, None]).sum(axis=1)
+                    # Scale sample mean to the (n - 1 - deg) unknown pairs.
+                    unknown = np.maximum(n - 1 - degrees, 0)[:, None]
+                    rep *= unknown / q
                 x_new = agg / rho[:, None] + (a / rho)[:, None] * rep
+                if impl == "barnes_hut":
+                    # Trust region. The entropy gradient is unbounded for
+                    # pair-free nodes (rho floored to _EPS turns the
+                    # repulsion term into a ~1/_EPS kick) and near-singular
+                    # at coincident points, both of which stress-majorized
+                    # warm starts produce in bulk: one uncapped sweep can
+                    # teleport such nodes nine orders of magnitude out,
+                    # wrecking the embedding and collapsing the octree to a
+                    # handful of cells (its O(n log n) evaluation degrades
+                    # to O(n²)). The cap is deterministic, so warm-started
+                    # re-solves stay bit-identical.
+                    step = x_new - x
+                    norm = np.linalg.norm(step, axis=1)
+                    limit = _BH_STEP_SCALES * max(scale, _EPS)
+                    hot = norm > limit
+                    if hot.any():
+                        shrink = np.where(hot, limit / np.maximum(norm, _EPS), 1.0)
+                        x_new = x + step * shrink[:, None]
             else:
                 x_new = agg / rho[:, None]
 
@@ -269,6 +347,29 @@ def maxent_stress_layout(
             break
         a = max(a * alpha_decay, alpha_min)
     return x
+
+
+def maxent_stress_value(
+    g: Graph | CSRGraph, coords: np.ndarray, k: int = 1
+) -> float:
+    """The stress term of the maxent objective at ``coords``.
+
+    ``Σ w_ij (‖x_i - x_j‖ - d_ij)²`` over the known-pair arc list (both
+    directions of every pair, so each pair counts twice — only ratios
+    between layouts of the same graph are meaningful). This is the
+    quality metric the layout benchmarks compare engines at: two layouts
+    are "matched" when their stress values agree within tolerance.
+    """
+    csr = g.csr() if isinstance(g, Graph) else g
+    x = np.asarray(coords, dtype=np.float64)
+    if x.shape[0] != csr.n:
+        raise ValueError(f"coords must have {csr.n} rows, got {x.shape[0]}")
+    if csr.nnz == 0:
+        return 0.0
+    tails, heads, d_target = _known_pairs(csr, max(1, k), max_pairs_per_node=24)
+    w = 1.0 / np.maximum(d_target, _EPS) ** 2
+    dist = np.linalg.norm(x[tails] - x[heads], axis=1)
+    return float((w * (dist - d_target) ** 2).sum())
 
 
 class MaxentStress:
@@ -286,7 +387,7 @@ class MaxentStress:
         *,
         seed: int | None = 42,
         initial: np.ndarray | None = None,
-        impl: str = "vectorized",
+        impl: str = "auto",
         **kwargs,
     ):
         self._g = g

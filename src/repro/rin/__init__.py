@@ -25,11 +25,14 @@ from .measures import (
     register_measure,
 )
 from .scanning import (
+    LAYOUT_CHAIN_LENGTH,
     CutoffScan,
+    TrajectoryLayoutScan,
     TrajectoryScan,
     criterion_comparison,
     cutoff_scan,
     trajectory_cutoff_scan,
+    trajectory_layout_scan,
 )
 from .timeseries import (
     MeasureSeries,
@@ -59,7 +62,10 @@ __all__ = [
     "topology_over_trajectory",
     "CutoffScan",
     "TrajectoryScan",
+    "TrajectoryLayoutScan",
+    "LAYOUT_CHAIN_LENGTH",
     "cutoff_scan",
     "trajectory_cutoff_scan",
+    "trajectory_layout_scan",
     "criterion_comparison",
 ]

@@ -40,6 +40,7 @@ from ..graphkit.parallel import ShardedExecutor, chunk_ranges
 from ..graphkit.service import get_compute_service
 from ..md.distances import residue_distance_matrix
 from ..md.topology import Topology
+from ..graphkit.layout import maxent_stress_layout, maxent_stress_value
 from .analysis import hubs
 from .construction import build_rin
 from .criteria import DistanceCriterion
@@ -47,9 +48,12 @@ from .criteria import DistanceCriterion
 __all__ = [
     "CutoffScan",
     "TrajectoryScan",
+    "TrajectoryLayoutScan",
     "cutoff_scan",
     "trajectory_cutoff_scan",
+    "trajectory_layout_scan",
     "criterion_comparison",
+    "LAYOUT_CHAIN_LENGTH",
 ]
 
 _IMPLEMENTATIONS = ("vectorized", "reference")
@@ -151,6 +155,46 @@ class TrajectoryScan:
         )
 
 
+#: Frames per warm-start chain of :func:`trajectory_layout_scan`. Chains
+#: are the *determinism unit*: each chain's first frame is a cold solve
+#: and every later frame warm-starts from its predecessor's coordinates,
+#: so the partition must be a pure function of the frame list — never of
+#: the worker count — for ``workers=0`` and ``workers=k`` to stay
+#: bit-identical. Longer chains amortize more cold solves but serialize
+#: more work per shard.
+LAYOUT_CHAIN_LENGTH = 4
+
+
+@dataclass
+class TrajectoryLayoutScan:
+    """Per-frame Maxent-Stress layouts of a trajectory sweep.
+
+    ``coordinates[i]`` is the embedding of ``frames[i]``; ``stress[i]``
+    its :func:`~repro.graphkit.layout.maxent_stress_value`; ``cold[i]``
+    whether the frame opened a warm-start chain (cold solve) or carried
+    the previous frame's coordinates.
+    """
+
+    cutoff: float
+    criterion: str
+    frames: np.ndarray  # (n_frames,) trajectory frame indices
+    coordinates: np.ndarray  # (n_frames, n_residues, dim)
+    stress: np.ndarray  # (n_frames,)
+    cold: np.ndarray  # (n_frames,) bool
+
+    @property
+    def n_frames(self) -> int:
+        """Number of laid-out frames."""
+        return len(self.frames)
+
+    def frame_coordinates(self, frame: int) -> np.ndarray:
+        """The embedding of trajectory frame ``frame``."""
+        rows = np.flatnonzero(self.frames == frame)
+        if len(rows) == 0:
+            raise KeyError(f"frame {frame} is not part of this scan")
+        return self.coordinates[int(rows[0])]
+
+
 # ----------------------------------------------------------------------
 # shard functions (module-level: workers import them by reference)
 # ----------------------------------------------------------------------
@@ -232,6 +276,48 @@ def _frame_shard(payload: tuple, arrays: dict) -> tuple[np.ndarray, ...]:
     return tuple(np.stack([row[j] for row in rows]) for j in range(len(_DESCRIPTORS)))
 
 
+def _layout_chain_shard(
+    payload: tuple, arrays: dict
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shard: warm-started layout solves for one chain of frames.
+
+    The chain's first frame is a cold solve (deterministic from ``seed``);
+    each later frame warm-starts from the previous frame's coordinates
+    with the entropy weight already annealed (``warm_alpha``), so
+    scrubbing never re-heats a near-converged embedding. Because the
+    Barnes-Hut engine draws nothing from the rng during sweeps, the whole
+    chain is a pure function of its payload — the shard→merge contract
+    that keeps any worker count bit-identical to the serial twin.
+    """
+    (
+        topology,
+        criterion,
+        cutoff,
+        dim,
+        k,
+        seed,
+        warm_alpha,
+        params,
+        frame_ids,
+    ) = payload
+    coords_block = arrays["coords"]
+    layouts = []
+    stress = []
+    prev: np.ndarray | None = None
+    for f in frame_ids:
+        g = build_rin(topology, coords_block[int(f)], cutoff, criterion=criterion)
+        csr = g.csr()
+        kwargs = dict(params)
+        if prev is not None:
+            kwargs["initial"] = prev
+            kwargs["alpha"] = warm_alpha
+        x = maxent_stress_layout(csr, dim, k, seed=seed, **kwargs)
+        layouts.append(x)
+        stress.append(maxent_stress_value(csr, x, k))
+        prev = x
+    return np.stack(layouts), np.asarray(stress)
+
+
 # ----------------------------------------------------------------------
 # engines
 # ----------------------------------------------------------------------
@@ -292,6 +378,7 @@ def fan_out_frames(
     *,
     workers: int | None,
     executor: Any | None,
+    spans: list[tuple[int, int]] | None = None,
 ) -> list:
     """Run a frame-axis shard function over contiguous frame blocks.
 
@@ -301,12 +388,21 @@ def fan_out_frames(
     into one contiguous block per worker, and each payload is
     ``(topology, *payload_tail, frame_block)``. Results come back in
     block order; the per-call dataset is unlinked before returning.
+
+    ``spans`` overrides the frame partition with explicit ``(lo, hi)``
+    slices of ``frame_ids``. Pass this when the block boundaries carry
+    semantics the result must not depend on the worker count for — e.g.
+    :func:`trajectory_layout_scan`'s warm-start chains, where a chain
+    boundary means a cold solve. The default partition (one block per
+    worker) is only safe for shard functions whose rows are independent
+    per frame.
     """
     ex, own = _resolve_executor(workers, executor)
     try:
         dataset = ex.share(coords=trajectory.coordinates)
         try:
-            spans = chunk_ranges(len(frame_ids), max(1, ex.workers))
+            if spans is None:
+                spans = chunk_ranges(len(frame_ids), max(1, ex.workers))
             payloads = [
                 (trajectory.topology, *payload_tail, frame_ids[lo:hi])
                 for lo, hi in spans
@@ -444,6 +540,88 @@ def trajectory_cutoff_scan(
         for j in range(len(_DESCRIPTORS))
     )
     return TrajectoryScan(crit.value, cutoffs, frame_ids, *stacked)
+
+
+def trajectory_layout_scan(
+    trajectory,
+    cutoff: float,
+    *,
+    frames: np.ndarray | list[int] | None = None,
+    criterion: DistanceCriterion | str = DistanceCriterion.MINIMUM,
+    dim: int = 3,
+    k: int = 1,
+    seed: int | None = 42,
+    warm_alpha: float = 0.05,
+    chain_length: int = LAYOUT_CHAIN_LENGTH,
+    layout_params: dict | None = None,
+    workers: int | None = 0,
+    executor: Any | None = None,
+) -> TrajectoryLayoutScan:
+    """Maxent-Stress layouts across trajectory frames, warm-started.
+
+    The scrubbing workload: one embedding per frame at a fixed cut-off,
+    so an :class:`~repro.core.pipeline.AsyncUpdatePipeline` frame switch
+    (or an exported animation) never pays a layout solve interactively.
+    Frames are solved in **ascending frame order** and partitioned into
+    fixed ``chain_length`` warm-start chains: the first frame of a chain
+    is a cold solve, every later frame warm-starts from its
+    predecessor's coordinates with the entropy weight pre-annealed to
+    ``warm_alpha`` (a near-converged embedding must not be re-heated).
+    Chains are the shard payloads, so the partition — and therefore
+    every float — is independent of ``workers``; and because the frame
+    order is canonicalized, scrubbing a trajectory forward or backward
+    yields bit-identical per-frame layouts. ``layout_params`` forwards
+    extra :func:`~repro.graphkit.layout.maxent_stress_layout` keywords
+    (``impl``, ``repulsion_theta``, schedule knobs) to every solve.
+    """
+    crit = DistanceCriterion.parse(criterion)
+    if cutoff <= 0:
+        raise ValueError(f"cutoff must be positive, got {cutoff}")
+    if chain_length < 1:
+        raise ValueError(f"chain_length must be >= 1, got {chain_length}")
+    frame_ids = (
+        np.arange(trajectory.n_frames, dtype=np.int64)
+        if frames is None
+        else np.asarray(frames, dtype=np.int64)
+    )
+    if len(frame_ids) == 0:
+        raise ValueError("need at least one frame")
+    for f in frame_ids:
+        trajectory.frame(int(f))  # validates the index
+    params = dict(layout_params or {})
+    for reserved in ("initial", "seed", "alpha"):
+        if reserved in params:
+            raise ValueError(f"layout_params may not override {reserved!r}")
+    # Canonical solve order: ascending unique frames, chained in fixed
+    # lengths. The requested order (forward, backward, arbitrary scrub
+    # sequence) only affects how results are gathered at the end.
+    unique = np.unique(frame_ids)
+    spans = [
+        (lo, min(lo + chain_length, len(unique)))
+        for lo in range(0, len(unique), chain_length)
+    ]
+    parts = fan_out_frames(
+        trajectory,
+        unique,
+        _layout_chain_shard,
+        (crit.value, float(cutoff), dim, k, seed, warm_alpha, params),
+        workers=workers,
+        executor=executor,
+        spans=spans,
+    )
+    coords = np.concatenate([p[0] for p in parts])
+    stress = np.concatenate([p[1] for p in parts])
+    cold = np.zeros(len(unique), dtype=bool)
+    cold[::chain_length] = True
+    rows = np.searchsorted(unique, frame_ids)
+    return TrajectoryLayoutScan(
+        cutoff=float(cutoff),
+        criterion=crit.value,
+        frames=frame_ids,
+        coordinates=coords[rows],
+        stress=stress[rows],
+        cold=cold[rows],
+    )
 
 
 def criterion_comparison(

@@ -1,0 +1,299 @@
+"""Barnes-Hut tree invariants and the force-approximation error contract.
+
+The approximation replaced the solver's bit-identical-twin guarantee with
+a bounded-error one, so this suite is what makes ``impl="barnes_hut"``
+trustworthy: hypothesis-generated point sets pin the tree invariants
+(every node in exactly one leaf per level, cell mass/center-of-mass sums
+match exact totals, Morton ordering is permutation-invariant), and the
+differential tests assert the theta-parameterized global relative error
+bound against the exact O(n²) reference — including its monotone decrease
+as theta tightens.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphkit.kernels import morton_codes
+from repro.graphkit.layout import (
+    BarnesHutTree,
+    barnes_hut_repulsion,
+    exact_repulsion,
+    force_error_bound,
+)
+from repro.md import proteins
+
+THETAS = (0.5, 0.8, 1.2)
+
+
+def _global_relative_error(approx: np.ndarray, exact: np.ndarray) -> float:
+    return float(np.linalg.norm(approx - exact) / np.linalg.norm(exact))
+
+
+@st.composite
+def point_sets(draw, max_points=400):
+    """Random point sets across the geometries the tree must survive.
+
+    Drawn as (family, n, dim, seed) and materialized with numpy — far
+    faster than element-wise float strategies, and shrinkable through the
+    integer parameters.
+    """
+    n = draw(st.integers(min_value=1, max_value=max_points))
+    dim = draw(st.sampled_from([2, 3]))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    family = draw(st.sampled_from(["uniform", "gauss", "clustered", "collinear"]))
+    rng = np.random.default_rng(seed)
+    if family == "uniform":
+        pts = rng.uniform(-1.0, 1.0, (n, dim))
+    elif family == "gauss":
+        pts = rng.standard_normal((n, dim))
+    elif family == "clustered":
+        centers = rng.uniform(-10.0, 10.0, (max(1, n // 20), dim))
+        pts = centers[rng.integers(0, len(centers), n)]
+        pts = pts + 0.05 * rng.standard_normal((n, dim))
+    else:  # collinear: the degenerate geometry quadtrees hate
+        t = rng.uniform(0.0, 1.0, n)
+        direction = rng.standard_normal(dim)
+        pts = np.outer(t, direction)
+    return pts
+
+
+# ----------------------------------------------------------------------
+# morton_codes (the kernels-layer primitive the tree builds on)
+# ----------------------------------------------------------------------
+class TestMortonCodes:
+    def test_interleaving_roundtrip_2d(self):
+        # 4 points at the corners of the unit square, bits=1: the code is
+        # exactly (y_bit << 1) | x_bit.
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        codes, extent, origin = morton_codes(pts, bits=1)
+        assert codes.tolist() == [0, 1, 2, 3]
+        assert extent == 1.0
+        assert np.array_equal(origin, [0.0, 0.0])
+
+    def test_shared_cube_not_per_axis(self):
+        # One stretched axis must not be quantized independently: the
+        # bounding CUBE uses a single edge length, so the short axis
+        # occupies a prefix of its cell range.
+        pts = np.array([[0.0, 0.0], [8.0, 1.0]])
+        codes, extent, _ = morton_codes(pts, bits=3)
+        assert extent == 8.0
+        # De-interleave point 1 (x bits at even positions, y bits at odd):
+        # the shared cube quantizes y=1 against edge 8, not against its own
+        # 1.0 span — cell 1 of 8, not cell 7.
+        x_cell = sum(((int(codes[1]) >> (2 * b)) & 1) << b for b in range(3))
+        y_cell = sum(((int(codes[1]) >> (2 * b + 1)) & 1) << b for b in range(3))
+        assert x_cell == 7  # x=8 is the far edge: clamped into the last cell
+        assert y_cell == 1
+
+    def test_degenerate_extent(self):
+        pts = np.zeros((5, 3))
+        codes, extent, _ = morton_codes(pts, bits=4)
+        assert extent == 1.0
+        assert np.array_equal(codes, np.zeros(5, dtype=np.int64))
+
+    def test_empty(self):
+        codes, extent, origin = morton_codes(np.zeros((0, 3)), bits=4)
+        assert len(codes) == 0 and extent == 1.0
+
+    def test_bits_overflow_rejected(self):
+        with pytest.raises(ValueError, match="62"):
+            morton_codes(np.zeros((2, 3)), bits=21)
+
+    @given(point_sets(max_points=200))
+    @settings(max_examples=30, deadline=None)
+    def test_codes_in_range(self, pts):
+        bits = 6
+        codes, _, _ = morton_codes(pts, bits=bits)
+        assert codes.dtype == np.int64
+        assert (codes >= 0).all()
+        assert (codes < 1 << (bits * pts.shape[1])).all()
+
+
+# ----------------------------------------------------------------------
+# tree invariants (hypothesis)
+# ----------------------------------------------------------------------
+class TestTreeInvariants:
+    @given(point_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_every_node_in_exactly_one_cell_per_level(self, pts):
+        tree = BarnesHutTree(pts, bits=6)
+        n = len(pts)
+        for level in range(tree.n_levels):
+            _, starts, masses, _ = tree.level_cells(level)
+            # The runs [starts[i], starts[i] + masses[i]) tile [0, n):
+            # every Z-ordered point belongs to exactly one cell.
+            assert int(masses.sum()) == n
+            ends = starts + masses
+            assert starts[0] == 0 and ends[-1] == n
+            assert np.array_equal(ends[:-1], starts[1:])
+            cell_of = tree.point_cells(level)
+            assert cell_of.shape == (n,)
+            assert (0 <= cell_of).all() and (cell_of < len(starts)).all()
+
+    @given(point_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_mass_and_com_sums_match_exact_totals(self, pts):
+        tree = BarnesHutTree(pts, bits=6)
+        total_mass = float(len(pts))
+        total_sum = pts.sum(axis=0)
+        for level in range(tree.n_levels):
+            _, _, masses, coms = tree.level_cells(level)
+            assert float(masses.sum()) == total_mass
+            # Σ mass·com over the level's cells == Σ points exactly-ish
+            # (reduceat sums, one division round-trip).
+            np.testing.assert_allclose(
+                (masses[:, None] * coms).sum(axis=0), total_sum, atol=1e-8
+            )
+
+    @given(point_sets(max_points=200), st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_morton_order_permutation_invariant(self, pts, seed):
+        rng = np.random.default_rng(seed)
+        perm = rng.permutation(len(pts))
+        tree_a = BarnesHutTree(pts, bits=6)
+        tree_b = BarnesHutTree(pts[perm], bits=6)
+        # The Z-ordered point sequence — and with it every cell table —
+        # is a function of the point *set* alone. Stable ties between
+        # coincident points may reorder, so compare sorted codes and the
+        # per-level cell tables, not the raw permutation.
+        assert tree_a.n_levels == tree_b.n_levels
+        for level in range(tree_a.n_levels):
+            codes_a, starts_a, mass_a, com_a = tree_a.level_cells(level)
+            codes_b, starts_b, mass_b, com_b = tree_b.level_cells(level)
+            assert np.array_equal(codes_a, codes_b)
+            assert np.array_equal(starts_a, starts_b)
+            assert np.array_equal(mass_a, mass_b)
+            np.testing.assert_allclose(com_a, com_b, atol=1e-9)
+
+    @given(point_sets(max_points=200))
+    @settings(max_examples=20, deadline=None)
+    def test_repulsion_permutation_equivariant(self, pts):
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(len(pts))
+        rep = barnes_hut_repulsion(pts, 0.8, bits=6)
+        rep_perm = barnes_hut_repulsion(pts[perm], 0.8, bits=6)
+        # Equivariant up to float round-off only: permuting the input
+        # reorders within-cell summation (tie order in the stable sort),
+        # so accumulated near-field sums differ in the last bits.
+        scale = np.abs(rep).max()
+        np.testing.assert_allclose(rep_perm, rep[perm], atol=1e-7 * max(scale, 1.0))
+
+
+# ----------------------------------------------------------------------
+# force-error contract (differential vs the exact O(n²) reference)
+# ----------------------------------------------------------------------
+def _error_families():
+    """The four geometries of the error contract, ~protein-sized."""
+    rng = np.random.default_rng(7)
+    topo, native = proteins.build("A3D")
+    del topo
+    # protein: real residue coordinates, tiled into a small assembly so
+    # the set is large enough to exercise several tree levels.
+    shifts = rng.uniform(-1.0, 1.0, (8, 3)) * 30.0
+    protein = np.concatenate(
+        [native + s for s in shifts]
+    ) + 0.1 * rng.standard_normal((8 * len(native), 3))
+    uniform = rng.uniform(-1.0, 1.0, (1500, 3))
+    centers = rng.uniform(-10.0, 10.0, (25, 3))
+    clustered = centers[rng.integers(0, 25, 1500)] + 0.05 * rng.standard_normal(
+        (1500, 3)
+    )
+    t = np.linspace(0.0, 1.0, 1200)
+    collinear = np.outer(t, [1.0, 0.0, 0.0])
+    return {
+        "protein": protein,
+        "uniform": uniform,
+        "clustered": clustered,
+        "collinear": collinear,
+    }
+
+
+@pytest.fixture(scope="module")
+def error_families():
+    return {
+        name: (pts, exact_repulsion(pts))
+        for name, (pts) in _error_families().items()
+    }
+
+
+class TestForceErrorContract:
+    @pytest.mark.parametrize("theta", THETAS)
+    def test_error_within_bound_on_all_families(self, error_families, theta):
+        for name, (pts, exact) in error_families.items():
+            err = _global_relative_error(barnes_hut_repulsion(pts, theta), exact)
+            assert err <= force_error_bound(theta), (
+                f"{name}: error {err:.4f} exceeds "
+                f"bound {force_error_bound(theta):.4f} at theta={theta}"
+            )
+
+    def test_error_monotone_in_theta(self, error_families):
+        for name, (pts, exact) in error_families.items():
+            errs = [
+                _global_relative_error(barnes_hut_repulsion(pts, t), exact)
+                for t in THETAS
+            ]
+            assert errs[0] <= errs[1] <= errs[2], (
+                f"{name}: error not monotone in theta: {errs}"
+            )
+
+    def test_bound_itself_monotone(self):
+        bounds = [force_error_bound(t) for t in THETAS]
+        assert bounds[0] < bounds[1] < bounds[2]
+
+    def test_invalid_theta_rejected(self):
+        with pytest.raises(ValueError, match="theta"):
+            force_error_bound(0.0)
+        with pytest.raises(ValueError, match="theta"):
+            BarnesHutTree(np.zeros((3, 2))).repulsion(-1.0)
+
+    @given(point_sets(max_points=300))
+    @settings(max_examples=15, deadline=None)
+    def test_error_bound_holds_on_random_sets(self, pts):
+        if len(pts) < 2:
+            return
+        exact = exact_repulsion(pts)
+        nrm = np.linalg.norm(exact)
+        if nrm == 0.0:  # all points coincident: both engines return zero
+            assert np.allclose(barnes_hut_repulsion(pts, 0.8), 0.0)
+            return
+        err = _global_relative_error(barnes_hut_repulsion(pts, 0.8), exact)
+        assert err <= force_error_bound(0.8)
+
+
+# ----------------------------------------------------------------------
+# degenerate inputs and reference-kernel sanity
+# ----------------------------------------------------------------------
+class TestDegenerate:
+    def test_coincident_points_zero_force(self):
+        pts = np.zeros((50, 3))
+        assert np.array_equal(exact_repulsion(pts), np.zeros((50, 3)))
+        assert np.array_equal(barnes_hut_repulsion(pts, 0.8), np.zeros((50, 3)))
+
+    def test_tiny_inputs(self):
+        for n in (0, 1):
+            pts = np.zeros((n, 3))
+            assert barnes_hut_repulsion(pts, 0.8).shape == (n, 3)
+        two = np.array([[0.0, 0.0], [1.0, 0.0]])
+        np.testing.assert_allclose(
+            barnes_hut_repulsion(two, 0.8), [[-1.0, 0.0], [1.0, 0.0]]
+        )
+
+    def test_exact_repulsion_antisymmetric(self):
+        rng = np.random.default_rng(3)
+        pts = rng.standard_normal((200, 3))
+        np.testing.assert_allclose(
+            exact_repulsion(pts).sum(axis=0), np.zeros(3), atol=1e-9
+        )
+        # Newton's third law survives the approximation too: monopole and
+        # exact-pair contributions are both antisymmetric under the
+        # conservative block gate... to the truncation error, not bitwise.
+        bh_total = barnes_hut_repulsion(pts, 0.8).sum(axis=0)
+        assert np.linalg.norm(bh_total) <= 0.05 * np.linalg.norm(
+            exact_repulsion(pts)
+        )
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError, match="points"):
+            BarnesHutTree(np.zeros(5))

@@ -100,6 +100,55 @@ class TestMaxentStress:
         assert np.isfinite(coords).all()
 
 
+class TestBarnesHutTrustRegion:
+    """Pair-free nodes divide by a rho floored to _EPS, so the entropy
+    term hands them a ~1/_EPS kick; the Barnes-Hut engine caps per-sweep
+    displacement at 100 layout scales so one sweep cannot teleport them
+    out of the embedding (and collapse the octree's cell structure)."""
+
+    @staticmethod
+    def _ring_with_isolated(n_ring=32, n_iso=32):
+        edges = [(i, (i + 1) % n_ring) for i in range(n_ring)]
+        return Graph.from_edges(n_ring + n_iso, edges)
+
+    def test_single_sweep_displacement_capped(self):
+        g = self._ring_with_isolated()
+        rng = np.random.default_rng(0)
+        x0 = rng.standard_normal((g.number_of_nodes(), 3))
+        x1 = maxent_stress_layout(
+            g, 3, initial=x0, impl="barnes_hut",
+            alpha=0.008, alpha_min=0.008, iterations_per_alpha=1, tol=0.0,
+        )
+        step = np.linalg.norm(x1 - x0, axis=1)
+        # scale == mean target distance == 1 on an unweighted graph.
+        assert step.max() <= 100.0 * (1.0 + 1e-9)
+        # The cap must actually bind for the isolated tail: uncapped,
+        # the rho ~ _EPS denominator kicks those nodes ~1e7 scales out
+        # in this single sweep, so a capped step sits exactly at the
+        # trust-region boundary.
+        assert step[32:].max() > 99.0
+
+    def test_isolated_nodes_stay_bounded_and_finite(self):
+        g = self._ring_with_isolated()
+        x = maxent_stress_layout(
+            g, 3, impl="barnes_hut", alpha=0.008,
+            iterations_per_alpha=3, seed=0, tol=0.0,
+        )
+        assert np.isfinite(x).all()
+        assert np.abs(x).max() < 500.0
+
+    def test_cap_inactive_on_well_behaved_graphs(self, karate):
+        # Every karate node has known pairs, so no step approaches the
+        # trust region: a Barnes-Hut polish sweep from a stress-only
+        # warm start moves nodes by a small fraction of the cap.
+        x0 = maxent_stress_layout(karate, dim=3, seed=5, repulsion_samples=0)
+        x1 = maxent_stress_layout(
+            karate, 3, initial=x0, impl="barnes_hut",
+            alpha=0.008, alpha_min=0.008, iterations_per_alpha=1, tol=0.0,
+        )
+        assert np.linalg.norm(x1 - x0, axis=1).max() < 100.0
+
+
 class TestFruchtermanReingold:
     def test_shape(self, karate):
         coords = fruchterman_reingold_layout(karate, dim=2, seed=1)
