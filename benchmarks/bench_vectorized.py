@@ -56,9 +56,7 @@ Run:  PYTHONPATH=src python benchmarks/bench_vectorized.py [--quick]
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import platform
 import sys
 import time
 from pathlib import Path
@@ -66,6 +64,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.bench import PAPER_HIGH_CUTOFF, PAPER_PROTEINS, protein_trajectory
+from repro.bench.reporting import run_json_payload, write_run_json
 from repro.bench.workloads import layout_scale_graph
 from repro.cloud import (
     DEFAULT_MIX,
@@ -529,28 +528,21 @@ def main() -> int:
             else float("inf")
         )
 
-    host = {
-        "python": platform.python_version(),
-        "machine": platform.machine(),
-        "quick": bool(args.quick),
-        "repeats": repeats,
-    }
-    out_path = Path(
+    # Canonical run-JSON shape — validated at write time so the figure
+    # registry's dataframe layer (repro.bench.frames) never sees a
+    # malformed artifact.
+    payload = run_json_payload(
+        quick=bool(args.quick),
+        repeats=repeats,
+        workloads=results,
+        aggregates=classes,
+        extra={"cloud": cloud},
+    )
+    out_path = write_run_json(
         args.out
         if args.out
-        else Path(__file__).resolve().parent.parent / "BENCH_vectorized.json"
-    )
-    out_path.write_text(
-        json.dumps(
-            {
-                "host": host,
-                "workloads": results,
-                "aggregates": classes,
-                "cloud": cloud,
-            },
-            indent=2,
-        )
-        + "\n"
+        else Path(__file__).resolve().parent.parent / "BENCH_vectorized.json",
+        payload,
     )
 
     width = max(len(k) for k in results)

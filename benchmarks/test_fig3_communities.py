@@ -43,3 +43,18 @@ def test_fig3_community_count_near_helix_count():
     result = run_fig3()
     # A handful of communities for three helices (+ termini), not dozens.
     assert 3 <= result.n_communities <= 8
+
+
+def test_registry_fig3_pins_runner_structure():
+    """The `fig3` registry builder must reproduce the legacy runner."""
+    from repro.bench import REGISTRY
+
+    bundle = REGISTRY.bundle("fig3", quick=True)
+    legacy = run_fig3()
+    row = bundle.frame.rows()[0]
+    assert (row["nodes"], row["edges"]) == (legacy.nodes, legacy.edges)
+    assert row["n_communities"] == legacy.n_communities
+    assert row["nmi"] == pytest.approx(legacy.nmi)
+    assert row["purity"] == pytest.approx(legacy.purity)
+    # The chart colors the same RIN the runner scored.
+    assert bundle.figure is not None and bundle.figure.n_traces >= 1

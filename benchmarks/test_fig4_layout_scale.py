@@ -113,3 +113,14 @@ def test_fifty_k_barnes_hut_polish_beats_sampled_quality():
     print(f"\n50k BH polish: {elapsed:.2f} s, stress {s0:.3g} -> {sb:.3g}")
     assert np.isfinite(xb).all()
     assert sb < s0  # the polish must strictly improve the embedding
+
+
+def test_registry_fig4_pins_runner_structure():
+    """The `fig4` registry builder sweeps the declared quick sizes."""
+    from repro.bench import QUICK_FIG4_SIZES, REGISTRY
+
+    bundle = REGISTRY.bundle("fig4", quick=True)
+    assert tuple(bundle.frame.column("nodes")) == QUICK_FIG4_SIZES
+    assert all(e > 0 for e in bundle.frame.column("edges"))
+    # One themed series per timing decomposition (layout/figure/total).
+    assert bundle.figure is not None and bundle.figure.n_traces == 3

@@ -45,3 +45,16 @@ def test_initial_render_recolors_by_closeness(a3d):
     widget = RINWidget(a3d, cutoff=4.5, measure="Closeness Centrality")
     colors = widget.protein_figure.trace(0).marker.color
     assert len(set(colors)) > 5  # a real gradient, not uniform
+
+
+def test_registry_fig5_pins_runner_structure():
+    """The `fig5` registry builder reports the same GUI composition."""
+    from repro.bench import QUICK_PROTEINS, REGISTRY
+
+    bundle = REGISTRY.bundle("fig5", quick=True)
+    legacy = run_fig5(protein=QUICK_PROTEINS[0])
+    row = bundle.frame.rows()[0]
+    assert (row["nodes"], row["edges"]) == (legacy["nodes"], legacy["edges"])
+    assert row["controls"] == len(legacy["controls"])
+    assert row["plots"] == len(legacy["plots"])
+    assert bundle.figure is None  # table-only by design

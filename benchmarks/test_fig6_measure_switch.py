@@ -4,7 +4,7 @@ Panels (a)/(b): NetworKit compute time per measure at cut-offs 3.0 Å and
 10.0 Å on A3D-0 / 2JOF-0 / NTL9-0. Panel (c): total client-perceived
 update time.
 
-Shape assertions (DESIGN.md §4): Degree is the cheapest centrality,
+Shape assertions: Degree is the cheapest centrality,
 Betweenness the most expensive; total ≫ server compute for cheap measures
 (the paper's ~10× gap); all three RINs stay interactive.
 """
@@ -74,3 +74,18 @@ def test_shape_more_edges_not_cheaper(pipelines):
         for _ in range(3)
     )
     assert t_high >= 0.5 * t_low  # allow noise; must not be dramatically cheaper
+
+
+def test_registry_fig6_pins_runner_structure():
+    """The `fig6` registry builder matches the legacy measure sweep."""
+    from repro.bench import QUICK_PROTEINS, REGISTRY, run_fig6
+
+    bundle = REGISTRY.bundle("fig6", quick=True)
+    legacy = run_fig6(
+        proteins=QUICK_PROTEINS, cutoffs=(PAPER_LOW_CUTOFF,), repeats=1
+    )
+    assert bundle.frame.column("measure") == [r.measure for r in legacy.rows]
+    assert bundle.frame.column("edges") == [r.edges for r in legacy.rows]
+    # One scatter series per (protein, cut-off) pair.
+    assert bundle.figure is not None
+    assert bundle.figure.n_traces == len(QUICK_PROTEINS)

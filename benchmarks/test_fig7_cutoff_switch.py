@@ -59,3 +59,16 @@ def test_shape_total_adds_client_share(pipelines, protein):
     t = pipeline.switch_cutoff(9.0)
     assert t.total_ms > t.server_ms
     assert t.client_ms > 10.0  # non-trivial DOM work
+
+
+def test_registry_fig7_pins_runner_structure():
+    """The `fig7` registry builder matches the legacy cut-off sweep."""
+    from repro.bench import QUICK_CUTOFFS, QUICK_PROTEINS, REGISTRY, run_fig7
+
+    bundle = REGISTRY.bundle("fig7", quick=True)
+    legacy = run_fig7(proteins=QUICK_PROTEINS, cutoffs=QUICK_CUTOFFS)
+    assert bundle.frame.column("cutoff") == [r.cutoff for r in legacy.rows]
+    assert bundle.frame.column("edges") == [r.edges for r in legacy.rows]
+    # One series per protein, one x point per cut-off.
+    assert bundle.figure is not None
+    assert bundle.figure.n_traces == len(QUICK_PROTEINS)

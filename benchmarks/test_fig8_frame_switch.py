@@ -66,3 +66,18 @@ def test_shape_worst_case_is_frame_plus_measure(pipelines):
     )
     assert t_frame.total_ms > t_measure.total_ms
     assert t_frame.measure_ms > 0  # measure recomputed as part of the loop
+
+
+def test_registry_fig8_pins_runner_structure():
+    """The `fig8` registry builder matches the legacy frame sweep."""
+    from repro.bench import QUICK_PROTEINS, REGISTRY, run_fig8
+
+    bundle = REGISTRY.bundle("fig8", quick=True)
+    legacy = run_fig8(
+        proteins=QUICK_PROTEINS, cutoffs=(PAPER_LOW_CUTOFF,), frames=3
+    )
+    assert bundle.frame.column("protein") == [r.protein for r in legacy.rows]
+    assert bundle.frame.column("cutoff") == [r.cutoff for r in legacy.rows]
+    assert bundle.frame.column("mean_edges") == [
+        r.mean_edges for r in legacy.rows
+    ]

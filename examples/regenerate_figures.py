@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Minimal figure-registry walkthrough: list, build, inspect.
+
+Lists the registered figures, rebuilds a paper figure and a bench figure
+through `repro.bench.registry` (quick configs, so this finishes in
+seconds), and prints the artifacts each build wrote — the same
+`<name>.csv` / `<name>.txt` / `<name>.json` set that
+``python -m repro.bench.figures --all`` produces for the complete
+evaluation. The figure → generator → input map is `docs/FIGURES.md`.
+
+Run:  PYTHONPATH=src python examples/regenerate_figures.py [--out DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+from pathlib import Path
+
+from repro.bench import REGISTRY
+
+#: One paper figure (rebuilt from seeds) + one bench figure (rebuilt
+#: from the committed BENCH_vectorized.json artifact).
+DEMO_FIGURES = ("fig3", "kernel_speedups")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="output directory (default: a temporary directory)",
+    )
+    args = parser.parse_args(argv)
+    out_dir = Path(args.out) if args.out else Path(tempfile.mkdtemp())
+
+    print(f"{len(REGISTRY)} registered figures:")
+    for spec in REGISTRY.specs():
+        inputs = ", ".join(spec.inputs) or "generated from seeds"
+        print(f"  {spec.name:18} {spec.section:24} inputs: {inputs}")
+
+    for name in DEMO_FIGURES:
+        print(f"\n== {REGISTRY.get(name).title}")
+        bundle = REGISTRY.bundle(name, quick=True)
+        print(bundle.table)
+        paths = REGISTRY.build(name, out_dir, quick=True)
+        print("wrote: " + ", ".join(str(p) for p in paths))
+
+    print(
+        f"\nFull evaluation: PYTHONPATH=src python -m repro.bench.figures "
+        f"--all --out {out_dir}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,64 +1,87 @@
 """repro.bench — harness regenerating every table/figure of the paper.
 
 One runner per figure (:mod:`~repro.bench.figures`), deterministic
-workload construction (:mod:`~repro.bench.workloads`) and text reporting
-(:mod:`~repro.bench.reporting`). The ``benchmarks/`` pytest-benchmark
-suites wrap these runners; ``python -m repro.bench`` prints all tables.
+workload construction (:mod:`~repro.bench.workloads`), text + run-JSON
+reporting (:mod:`~repro.bench.reporting`), tidy analysis frames
+(:mod:`~repro.bench.frames`) and the declarative figure registry
+(:mod:`~repro.bench.registry`) tying them together. The ``benchmarks/``
+pytest-benchmark suites wrap the runners; ``python -m repro.bench``
+prints all tables and ``python -m repro.bench.figures --all``
+regenerates every figure artifact (handbook: ``docs/FIGURES.md``).
+
+Exports resolve lazily (PEP 562) so ``python -m repro.bench.figures``
+does not double-import the CLI module and importing the package stays
+cheap for consumers that only need one layer.
 """
 
-from .figures import (
-    CloudResult,
-    Fig3Result,
-    Fig4Result,
-    Fig6Result,
-    Fig7Result,
-    Fig8Result,
-    run_cloud_stability,
-    run_fig3,
-    run_fig4,
-    run_fig5,
-    run_fig6,
-    run_fig7,
-    run_fig8,
+from __future__ import annotations
+
+import importlib
+
+#: export name → submodule providing it (resolved on first access).
+_EXPORTS = {
+    name: ".figures"
+    for name in (
+        "run_fig3", "run_fig4", "run_fig5", "run_fig6", "run_fig7",
+        "run_fig8", "run_cloud_stability", "Fig3Result", "Fig4Result",
+        "Fig6Result", "Fig7Result", "Fig8Result", "CloudResult",
+    )
+}
+_EXPORTS.update(
+    {
+        name: ".frames"
+        for name in (
+            "Frame", "bench_workloads_frame", "bench_aggregates_frame",
+            "cloud_curve_frame", "kernel_speedup_markdown",
+        )
+    }
 )
-from .reporting import format_paper_comparison, format_table
-from .verdicts import Verdict, run_verdicts, verdict_table
-from .workloads import (
-    FIG4_GRAPH_SIZE,
-    PAPER_HIGH_CUTOFF,
-    PAPER_LOW_CUTOFF,
-    PAPER_PROTEINS,
-    fig4_graph,
-    layout_scale_graph,
-    make_pipeline,
-    protein_trajectory,
+_EXPORTS.update(
+    {
+        name: ".registry"
+        for name in (
+            "REGISTRY", "FigureRegistry", "FigureSpec", "FigureBundle",
+            "UnknownFigureError", "DuplicateFigureError",
+            "MissingInputError", "publication_layout", "series_figure",
+        )
+    }
+)
+_EXPORTS.update(
+    {
+        name: ".reporting"
+        for name in (
+            "format_table", "format_paper_comparison", "run_json_payload",
+            "write_run_json", "load_run_json",
+        )
+    }
+)
+_EXPORTS.update(
+    {name: ".verdicts" for name in ("Verdict", "run_verdicts", "verdict_table")}
+)
+_EXPORTS.update(
+    {
+        name: ".workloads"
+        for name in (
+            "PAPER_PROTEINS", "PAPER_LOW_CUTOFF", "PAPER_HIGH_CUTOFF",
+            "FIG4_GRAPH_SIZE", "FIG4_SIZES", "QUICK_PROTEINS",
+            "QUICK_FIG4_SIZES", "QUICK_CUTOFFS", "protein_trajectory",
+            "make_pipeline", "fig4_graph", "layout_scale_graph",
+        )
+    }
 )
 
-__all__ = [
-    "run_fig3",
-    "run_fig4",
-    "run_fig5",
-    "run_fig6",
-    "run_fig7",
-    "run_fig8",
-    "run_cloud_stability",
-    "Fig3Result",
-    "Fig4Result",
-    "Fig6Result",
-    "Fig7Result",
-    "Fig8Result",
-    "CloudResult",
-    "format_table",
-    "format_paper_comparison",
-    "Verdict",
-    "run_verdicts",
-    "verdict_table",
-    "PAPER_PROTEINS",
-    "PAPER_LOW_CUTOFF",
-    "PAPER_HIGH_CUTOFF",
-    "FIG4_GRAPH_SIZE",
-    "protein_trajectory",
-    "make_pipeline",
-    "fig4_graph",
-    "layout_scale_graph",
-]
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    return getattr(importlib.import_module(module, __name__), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

@@ -1,25 +1,24 @@
-"""Run every figure runner and print paper-style tables.
+"""Print every registered figure's paper-style table.
 
-Usage: ``python -m repro.bench [--quick]``
+Usage: ``python -m repro.bench [--quick] [--verdicts]``, or
+``python -m repro.bench figures ...`` to delegate to the figure-registry
+CLI (``--all`` / ``--only`` / ``--list`` / ``--check`` / ``--out``; see
+``docs/FIGURES.md``).
 """
 
 from __future__ import annotations
 
 import sys
 
-from .figures import (
-    run_cloud_stability,
-    run_fig3,
-    run_fig4,
-    run_fig5,
-    run_fig6,
-    run_fig7,
-    run_fig8,
-)
-
 
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
+
+    if argv and argv[0] == "figures":
+        from .figures import main as figures_main
+
+        return figures_main(argv[1:])
+
     quick = "--quick" in argv
 
     if "--verdicts" in argv:
@@ -29,25 +28,11 @@ def main(argv: list[str] | None = None) -> int:
         print(verdict_table(verdicts))
         return 0 if all(v.holds for v in verdicts) else 1
 
-    print(run_fig3().table(), end="\n\n")
+    from .registry import REGISTRY
 
-    sizes = (1000, 4941) if quick else (1000, 4941, 20000, 50000)
-    print(run_fig4(sizes).table(), end="\n\n")
-
-    fig5 = run_fig5()
-    print("Figure 5 — widget build")
-    print(f"  {fig5['status']}")
-    print(f"  plots: {fig5['plots']}")
-    print(f"  controls: {fig5['controls']}")
-    print(f"  build time: {fig5['build_seconds']:.2f} s", end="\n\n")
-
-    proteins = ("2JOF",) if quick else ("A3D", "2JOF", "NTL9")
-    print(run_fig6(proteins=proteins, repeats=2 if quick else 3).table(),
-          end="\n\n")
-    print(run_fig7(proteins=proteins).table(), end="\n\n")
-    print(run_fig8(proteins=proteins, frames=4 if quick else 8).table(),
-          end="\n\n")
-    print(run_cloud_stability((1, 2) if quick else (1, 4, 8)).table())
+    for name in REGISTRY.names():
+        bundle = REGISTRY.bundle(name, quick=quick)
+        print(bundle.table, end="\n\n")
     return 0
 
 

@@ -1,15 +1,24 @@
 """Runners regenerating every figure of the paper's evaluation.
 
 Each ``run_figN`` produces the same rows/series the paper reports, as
-plain dataclasses; ``print(fig.table())`` emits paper-style text. The
-pytest-benchmark suites in ``benchmarks/`` call these runners (or their
-inner kernels) and assert the shape constraints listed in DESIGN.md §4.
+plain dataclasses; ``print(fig.table())`` emits paper-style text. These
+runners are the compute layer under the figure registry
+(:mod:`repro.bench.registry`): each registered figure wraps one runner
+(or a committed run-JSON artifact), converts its rows into a tidy
+:class:`~repro.bench.frames.Frame` and writes CSV/table/plotly-JSON
+artifacts. ``python -m repro.bench.figures --all`` regenerates the whole
+evaluation; the pytest-benchmark suites in ``benchmarks/`` call the
+runners directly and pin the registry output against them. The
+figure → generator → artifact map lives in ``docs/FIGURES.md``.
 """
 
 from __future__ import annotations
 
+import argparse
+import sys
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -49,6 +58,7 @@ __all__ = [
     "run_fig7",
     "run_fig8",
     "run_cloud_stability",
+    "main",
 ]
 
 
@@ -484,3 +494,94 @@ def run_cloud_stability(
             )
         )
     return result
+
+
+# ----------------------------------------------------------------------
+# registry CLI — `python -m repro.bench.figures`
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    """One-command figure regeneration over the registry.
+
+    ``--all`` rebuilds every registered figure from committed artifacts,
+    ``--only fig4 ...`` a subset, ``--list`` names them, ``--check``
+    quick-builds everything into scratch space (the CI gate), ``--out``
+    picks the output directory (created on demand) and ``--quick``
+    switches the paper runners to their small deterministic configs.
+    """
+    from .registry import REGISTRY, UnknownFigureError
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.figures",
+        description=(
+            "Regenerate the paper + bench evaluation figures from the "
+            "figure registry (see docs/FIGURES.md)."
+        ),
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="build every registered figure"
+    )
+    parser.add_argument(
+        "--only", nargs="+", metavar="FIG", default=None,
+        help="build only the named figures",
+    )
+    parser.add_argument(
+        "--list", action="store_true", dest="list_figures",
+        help="list registered figures and exit",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="quick-build every figure into scratch space; fail on error",
+    )
+    parser.add_argument(
+        "--out", default="figures_out", metavar="DIR",
+        help="output directory (default: figures_out/)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small deterministic configs for the paper runners",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_figures:
+        width = max(len(n) for n in REGISTRY.names())
+        for spec in REGISTRY.specs():
+            inputs = ", ".join(spec.inputs) if spec.inputs else "(generated)"
+            print(f"{spec.name.ljust(width)}  {spec.section:<22}  {inputs}")
+        print(f"{len(REGISTRY)} figures registered")
+        return 0
+
+    if args.check:
+        failures = REGISTRY.check()
+        for name, error in failures:
+            print(f"FAIL {name}: {error}", file=sys.stderr)
+        ok = len(REGISTRY) - len(failures)
+        print(f"figures --check: {ok}/{len(REGISTRY)} figures build")
+        return 1 if failures else 0
+
+    if args.only:
+        unknown = [n for n in args.only if n not in REGISTRY]
+        if unknown:
+            parser.error(
+                f"unknown figure(s) {', '.join(unknown)}; "
+                f"run --list for the registered names"
+            )
+        names = args.only
+    elif args.all:
+        names = REGISTRY.names()
+    else:
+        parser.error("pass --all, --only FIG ..., --list or --check")
+
+    out_dir = Path(args.out)
+    try:
+        written = REGISTRY.build_all(out_dir, quick=args.quick, names=names)
+    except UnknownFigureError as exc:  # pragma: no cover - guarded above
+        parser.error(str(exc))
+    for name, paths in written.items():
+        print(f"{name}: " + ", ".join(str(p) for p in paths))
+    print(f"wrote {sum(len(p) for p in written.values())} artifacts "
+          f"for {len(written)} figures under {out_dir}/")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

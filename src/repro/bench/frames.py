@@ -1,0 +1,210 @@
+"""Tidy analysis frames — the layer between run JSON and the figures.
+
+Every figure in :mod:`repro.bench.registry` plots from a :class:`Frame`
+(a small dependency-free column store, the shape pandas would call a
+"tidy" dataframe) instead of reaching into raw run records. The frame
+builders below convert the canonical run-JSON artifacts
+(``BENCH_vectorized.json`` — see :func:`repro.bench.reporting.load_run_json`)
+and the figure-runner results of :mod:`repro.bench.figures` into frames,
+so the same rows feed the CSV artifact, the text table, the README
+markdown table and the plotted traces.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+__all__ = [
+    "Frame",
+    "bench_workloads_frame",
+    "bench_aggregates_frame",
+    "cloud_curve_frame",
+    "kernel_speedup_markdown",
+]
+
+
+class Frame:
+    """An ordered, immutable-ish mapping of equal-length columns."""
+
+    def __init__(self, columns: Mapping[str, Sequence]):
+        if not columns:
+            raise ValueError("a Frame needs at least one column")
+        self._columns: dict[str, list] = {
+            str(name): list(values) for name, values in columns.items()
+        }
+        lengths = {len(v) for v in self._columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(
+                f"columns must share length, got {sorted(lengths)}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[Mapping[str, Any]],
+        columns: Sequence[str] | None = None,
+    ) -> "Frame":
+        """Build a frame from row dicts (column order = first record)."""
+        records = list(records)
+        if columns is None:
+            if not records:
+                raise ValueError("need explicit columns for zero records")
+            columns = list(records[0].keys())
+        return cls(
+            {name: [rec[name] for rec in records] for name in columns}
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def columns(self) -> list[str]:
+        return list(self._columns)
+
+    def column(self, name: str) -> list:
+        if name not in self._columns:
+            raise KeyError(
+                f"no column {name!r}; have {self.columns}"
+            )
+        return list(self._columns[name])
+
+    def __len__(self) -> int:
+        return len(next(iter(self._columns.values())))
+
+    def rows(self) -> list[dict[str, Any]]:
+        names = self.columns
+        return [
+            {n: self._columns[n][i] for n in names}
+            for i in range(len(self))
+        ]
+
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Callable[[dict], bool]) -> "Frame":
+        """Rows for which ``predicate(row_dict)`` holds (order kept)."""
+        kept = [row for row in self.rows() if predicate(row)]
+        if not kept:
+            return Frame({name: [] for name in self.columns})
+        return Frame.from_records(kept, columns=self.columns)
+
+    def sort_by(self, name: str, *, reverse: bool = False) -> "Frame":
+        ordered = sorted(
+            self.rows(), key=lambda row: row[name], reverse=reverse
+        )
+        return Frame.from_records(ordered, columns=self.columns)
+
+    def with_column(self, name: str, values: Sequence) -> "Frame":
+        out = dict(self._columns)
+        out[str(name)] = list(values)
+        return Frame(out)
+
+    # ------------------------------------------------------------------
+    def to_csv_text(self) -> str:
+        buf = io.StringIO()
+        writer = csv.writer(buf, lineterminator="\n")
+        writer.writerow(self.columns)
+        for row in self.rows():
+            writer.writerow([row[n] for n in self.columns])
+        return buf.getvalue()
+
+    def to_csv(self, path) -> None:
+        with open(path, "w", newline="") as fh:
+            fh.write(self.to_csv_text())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Frame(columns={self.columns}, rows={len(self)})"
+
+
+# ----------------------------------------------------------------------
+# run-JSON → frame builders
+# ----------------------------------------------------------------------
+def bench_workloads_frame(payload: Mapping[str, Any]) -> Frame:
+    """Per-workload rows of a ``BENCH_vectorized.json`` payload."""
+    records = [
+        {
+            "workload": name,
+            "reference_ms": rec["reference_ms"],
+            "vectorized_ms": rec["vectorized_ms"],
+            "speedup": rec["speedup"],
+        }
+        for name, rec in payload["workloads"].items()
+    ]
+    return Frame.from_records(
+        records,
+        columns=["workload", "reference_ms", "vectorized_ms", "speedup"],
+    )
+
+
+def bench_aggregates_frame(payload: Mapping[str, Any]) -> Frame:
+    """Aggregate (per-scenario) rows of ``BENCH_vectorized.json``."""
+    records = [
+        {
+            "workload": name,
+            "reference_ms": rec["reference_ms"],
+            "vectorized_ms": rec["vectorized_ms"],
+            "speedup": rec["speedup"],
+        }
+        for name, rec in payload["aggregates"].items()
+    ]
+    return Frame.from_records(
+        records,
+        columns=["workload", "reference_ms", "vectorized_ms", "speedup"],
+    )
+
+
+def cloud_curve_frame(payload: Mapping[str, Any]) -> Frame:
+    """Sessions-vs-p99 curve rows of the ``cloud`` run-JSON section."""
+    records = [
+        {
+            "spike_rate_per_s": point["spike_rate_per_s"],
+            "sessions": point["sessions"],
+            "static_p99_ms": point["static_p99_ms"],
+            "autoscaled_p99_ms": point["autoscaled_p99_ms"],
+            "static_gave_up": point["static_gave_up"],
+            "autoscaled_gave_up": point["autoscaled_gave_up"],
+        }
+        for point in payload["cloud"]["curve"]
+    ]
+    return Frame.from_records(
+        records,
+        columns=[
+            "spike_rate_per_s",
+            "sessions",
+            "static_p99_ms",
+            "autoscaled_p99_ms",
+            "static_gave_up",
+            "autoscaled_gave_up",
+        ],
+    )
+
+
+#: README footnote markers: scenarios whose "ms" figures are simulated
+#: clock readings (deterministic from the seed), not wall time.
+_DEFAULT_FOOTNOTES = {"cloud_scale": "*"}
+
+
+def kernel_speedup_markdown(
+    payload: Mapping[str, Any],
+    *,
+    footnotes: Mapping[str, str] | None = None,
+) -> str:
+    """The README speedup table, generated from the run JSON.
+
+    ``tests/docs`` pins the README against this exact string, so the
+    table can only change by re-running the benchmark (never by hand).
+    """
+    marks = _DEFAULT_FOOTNOTES if footnotes is None else footnotes
+    frame = bench_aggregates_frame(payload)
+    lines = [
+        "| workload | reference | vectorized | speedup |",
+        "|---|---:|---:|---:|",
+    ]
+    for row in frame.rows():
+        name = row["workload"]
+        label = f"`{name}`{marks.get(name, '')}"
+        lines.append(
+            f"| {label} | {row['reference_ms']:.1f} ms "
+            f"| {row['vectorized_ms']:.1f} ms "
+            f"| {row['speedup']:.1f}x |"
+        )
+    return "\n".join(lines)

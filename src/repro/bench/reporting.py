@@ -1,10 +1,29 @@
-"""Text reporting for benchmark results (paper-style rows)."""
+"""Reporting for benchmark results: text tables and canonical run JSON.
+
+The run-JSON helpers define the one on-disk shape every benchmark run
+shares (``host`` / ``workloads`` / ``aggregates`` + optional extra
+sections such as ``cloud``). ``benchmarks/bench_vectorized.py`` writes it
+via :func:`write_run_json`; the analysis-frame builders in
+:mod:`repro.bench.frames` and the figure registry read it back via
+:func:`load_run_json` — so the committed ``BENCH_vectorized.json``
+artifact is both the benchmark record and the figure input.
+"""
 
 from __future__ import annotations
 
-from typing import Sequence
+import json
+import platform
+import sys
+from pathlib import Path
+from typing import Any, Mapping, Sequence
 
-__all__ = ["format_table", "format_paper_comparison"]
+__all__ = [
+    "format_table",
+    "format_paper_comparison",
+    "run_json_payload",
+    "write_run_json",
+    "load_run_json",
+]
 
 
 def format_table(
@@ -41,3 +60,65 @@ def format_paper_comparison(
         f"{label}: measured {measured:.2f} {unit} | paper {paper:.2f} {unit} "
         f"| ratio {ratio:.2f}x"
     )
+
+
+# ----------------------------------------------------------------------
+# canonical run JSON
+# ----------------------------------------------------------------------
+def run_json_payload(
+    *,
+    quick: bool,
+    repeats: int,
+    workloads: Mapping[str, Mapping[str, float]],
+    aggregates: Mapping[str, Mapping[str, float]],
+    extra: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble the canonical run-JSON dict (``BENCH_*.json`` shape).
+
+    Every per-workload/aggregate record must carry ``reference_ms`` /
+    ``vectorized_ms`` / ``speedup`` — the contract the frame builders in
+    :mod:`repro.bench.frames` rely on. Violations fail here, at write
+    time, instead of at figure-build time.
+    """
+    required = ("reference_ms", "vectorized_ms", "speedup")
+    for section_name, section in (
+        ("workloads", workloads), ("aggregates", aggregates)
+    ):
+        for name, record in section.items():
+            missing = [key for key in required if key not in record]
+            if missing:
+                raise ValueError(
+                    f"{section_name}[{name!r}] is missing {missing}"
+                )
+    payload: dict[str, Any] = {
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "quick": quick,
+            "repeats": repeats,
+        },
+        "workloads": {k: dict(v) for k, v in workloads.items()},
+        "aggregates": {k: dict(v) for k, v in aggregates.items()},
+    }
+    for key, value in (extra or {}).items():
+        payload[key] = value
+    return payload
+
+
+def write_run_json(path: str | Path, payload: Mapping[str, Any]) -> Path:
+    """Write a run-JSON payload (stable key order, trailing newline)."""
+    path = Path(path)
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_run_json(path: str | Path) -> dict[str, Any]:
+    """Load a run-JSON artifact, with a figure-oriented error message."""
+    path = Path(path)
+    if not path.is_file():
+        raise FileNotFoundError(
+            f"run-JSON artifact {path} does not exist; regenerate it with "
+            f"`PYTHONPATH=src {Path(sys.executable).name} "
+            f"benchmarks/bench_vectorized.py --quick --out {path.name}`"
+        )
+    return json.loads(path.read_text())

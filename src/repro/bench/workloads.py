@@ -23,6 +23,10 @@ __all__ = [
     "PAPER_LOW_CUTOFF",
     "PAPER_HIGH_CUTOFF",
     "FIG4_GRAPH_SIZE",
+    "FIG4_SIZES",
+    "QUICK_PROTEINS",
+    "QUICK_FIG4_SIZES",
+    "QUICK_CUTOFFS",
     "protein_trajectory",
     "make_pipeline",
     "fig4_graph",
@@ -38,6 +42,26 @@ PAPER_HIGH_CUTOFF = 10.0
 
 #: Figure 4 shows a 4941-node / 6594-edge graph.
 FIG4_GRAPH_SIZE = 4941
+
+#: The full Figure 4 size axis ("up to 50k nodes in seconds").
+FIG4_SIZES: tuple[int, ...] = (1000, FIG4_GRAPH_SIZE, 20000, 50000)
+
+# ----------------------------------------------------------------------
+# The quick profile: one shared definition of "fast but representative",
+# used by `python -m repro.bench --quick`, the figure registry's
+# quick/--check builds and the CI smoke steps. Keeping it here (next to
+# the full-profile constants) is what stops each consumer from growing
+# its own slightly different notion of quick.
+# ----------------------------------------------------------------------
+
+#: The smallest paper RIN (20 residues) — the quick-profile protein axis.
+QUICK_PROTEINS: tuple[str, ...] = ("2JOF",)
+
+#: Quick Figure 4 sweep: stay below the multi-second layout sizes.
+QUICK_FIG4_SIZES: tuple[int, ...] = (500, 1000)
+
+#: Quick cut-off axis: the paper's extremes plus one interior point.
+QUICK_CUTOFFS: tuple[float, ...] = (PAPER_LOW_CUTOFF, 6.0, PAPER_HIGH_CUTOFF)
 
 
 @lru_cache(maxsize=8)

@@ -105,7 +105,7 @@ class TestFigureRunners:
 
 
 class TestShapeProperties:
-    """The DESIGN.md §4 shape requirements, verified at test speed."""
+    """The paper's Fig. 6-8 shape claims, verified at test speed."""
 
     def test_degree_cheaper_than_betweenness(self):
         result = run_fig6(proteins=("NTL9",), cutoffs=(10.0,), repeats=2)

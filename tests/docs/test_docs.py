@@ -32,7 +32,7 @@ _FENCE = re.compile(r"```python\n(.*?)```", re.DOTALL)
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _WIKI_ANCHOR = re.compile(r"\[\[([^\]]+)\]\]")
 _HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
-_EXECUTABLE_DOCS = ["API.md", "CLOUD.md", "KERNELS.md"]
+_EXECUTABLE_DOCS = ["API.md", "CLOUD.md", "FIGURES.md", "KERNELS.md"]
 
 
 def python_blocks(path: Path) -> list[str]:
@@ -88,6 +88,48 @@ class TestKernelsHandbookDrift:
             assert f'"{name}"' in text
 
 
+class TestFiguresHandbookDrift:
+    def test_every_registered_figure_documented(self):
+        """Registering a figure without documenting it fails the docs job."""
+        from repro.bench import REGISTRY
+
+        text = (DOCS / "FIGURES.md").read_text()
+        missing = [
+            f"`{name}`" for name in REGISTRY.names()
+            if f"`{name}`" not in text
+        ]
+        assert not missing, f"docs/FIGURES.md does not mention: {missing}"
+
+    def test_declared_inputs_documented(self):
+        """Every declared input artifact must appear in the handbook."""
+        from repro.bench import REGISTRY
+
+        text = (DOCS / "FIGURES.md").read_text()
+        for spec in REGISTRY.specs():
+            for artifact in spec.inputs:
+                assert artifact in text, (
+                    f"docs/FIGURES.md does not mention {artifact} "
+                    f"(declared by {spec.name})"
+                )
+
+    def test_readme_bench_table_generated(self):
+        """The README speedup table is the generated string, verbatim.
+
+        Hand-editing the numbers breaks this pin; regenerating
+        ``BENCH_vectorized.json`` and re-emitting the table is the only
+        way to change them.
+        """
+        from repro.bench import kernel_speedup_markdown, load_run_json
+
+        payload = load_run_json(REPO / "BENCH_vectorized.json")
+        table = kernel_speedup_markdown(payload)
+        assert table in (REPO / "README.md").read_text(), (
+            "README.md speedup table is out of sync with "
+            "BENCH_vectorized.json; regenerate it with "
+            "repro.bench.frames.kernel_speedup_markdown"
+        )
+
+
 class TestExamplesSmoke:
     @pytest.mark.parametrize(
         "path", EXAMPLES, ids=[p.stem for p in EXAMPLES]
@@ -130,18 +172,23 @@ class TestDocsLinks:
         assert (DOCS / "API.md").is_file()
         assert (DOCS / "CLOUD.md").is_file()
         assert (DOCS / "KERNELS.md").is_file()
+        assert (DOCS / "FIGURES.md").is_file()
 
     def test_docs_link_each_other(self):
         assert "API.md" in (DOCS / "ARCHITECTURE.md").read_text()
         assert "CLOUD.md" in (DOCS / "ARCHITECTURE.md").read_text()
         assert "KERNELS.md" in (DOCS / "ARCHITECTURE.md").read_text()
+        assert "FIGURES.md" in (DOCS / "ARCHITECTURE.md").read_text()
         assert "ARCHITECTURE.md" in (DOCS / "API.md").read_text()
         assert "ARCHITECTURE.md" in (DOCS / "CLOUD.md").read_text()
         assert "ARCHITECTURE.md" in (DOCS / "KERNELS.md").read_text()
+        assert "ARCHITECTURE.md" in (DOCS / "FIGURES.md").read_text()
 
     def test_readme_links_docs_and_bench(self):
         readme = (REPO / "README.md").read_text()
         assert "docs/ARCHITECTURE.md" in readme
         assert "docs/API.md" in readme
         assert "docs/KERNELS.md" in readme
+        assert "docs/FIGURES.md" in readme
         assert "BENCH_vectorized.json" in readme
+        assert "python -m repro.bench.figures --all" in readme
