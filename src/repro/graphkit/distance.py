@@ -126,16 +126,22 @@ def dijkstra(g: Graph | CSRGraph, source: int) -> np.ndarray:
 
 
 def all_pairs_distances(
-    g: Graph | CSRGraph, *, weighted: bool = False, threads: int | None = None
+    g: Graph | CSRGraph,
+    *,
+    weighted: bool = False,
+    threads: int | None = None,
+    packed: bool | None = None,
 ) -> np.ndarray:
     """All-pairs shortest paths as an ``(n, n)`` matrix.
 
     Unweighted distances run the batched level-synchronous BFS kernel over
     a static block decomposition of the sources (one sparse-dense product
-    per level per block); weighted distances run the batched multi-source
-    delta-stepping kernel over the same decomposition (one arc-parallel
-    relaxation per bucket phase per block — no per-source heap loop).
-    Unreachable pairs are ``inf`` in the returned float matrix.
+    per level per block; above the bit-packing threshold the frontier is
+    carried as uint64 bitsets — ``packed`` forces the choice); weighted
+    distances run the batched multi-source delta-stepping kernel over the
+    same decomposition (one arc-parallel relaxation per bucket phase per
+    block — no per-source heap loop). Unreachable pairs are ``inf`` in
+    the returned float matrix.
     """
     csr = _as_csr(g)
     n = csr.n
@@ -152,7 +158,9 @@ def all_pairs_distances(
         def run_chunk(start: int, stop: int) -> None:
             if stop <= start:
                 return
-            d = batched_bfs_distances(csr, np.arange(start, stop))
+            d = batched_bfs_distances(
+                csr, np.arange(start, stop), packed=packed
+            )
             block = out[start:stop]
             reached = d >= 0
             block[reached] = d[reached]

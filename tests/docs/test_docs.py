@@ -80,12 +80,22 @@ class TestKernelsHandbookDrift:
         assert not missing, f"docs/KERNELS.md does not mention: {missing}"
 
     def test_extra_impls_documented(self):
-        """Every extra engine name must appear in the selection rules."""
-        from repro.graphkit.centrality import Betweenness
+        """Every extra engine of every centrality class must appear in
+        the selection rules — not just Betweenness's."""
+        from repro.graphkit.centrality import Centrality
+
+        def subclasses(cls):
+            for sub in cls.__subclasses__():
+                yield sub
+                yield from subclasses(sub)
 
         text = (DOCS / "KERNELS.md").read_text()
-        for name in Betweenness.extra_impls:
-            assert f'"{name}"' in text
+        for cls in subclasses(Centrality):
+            for name in getattr(cls, "extra_impls", ()):
+                assert f'"{name}"' in text, (
+                    f"docs/KERNELS.md does not document "
+                    f"{cls.__name__}.extra_impls entry {name!r}"
+                )
 
 
 class TestFiguresHandbookDrift:

@@ -1,0 +1,184 @@
+"""Property tests for the bit-packed frontier primitives.
+
+Hypothesis drives the pack/unpack round-trip, the byte-LUT popcount,
+and the packed OR-SpMM against their obvious boolean counterparts on
+random CSR graphs — then the composed kernels (packed BFS, packed
+frontier-restricted Brandes) are pinned to the boolean SpMM engines the
+suite already trusts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphkit.csr import CSRGraph
+from repro.graphkit.generators import erdos_renyi
+from repro.graphkit.kernels import (
+    BITPACK_THRESHOLD,
+    batched_bfs_distances,
+    batched_brandes_dependencies,
+    pack_bits,
+    packed_spmm_or,
+    popcount64,
+    unpack_bits,
+)
+
+# Bit counts straddling the uint64 word boundary on purpose.
+bit_widths = st.sampled_from([1, 3, 63, 64, 65, 100, 128, 130])
+
+
+def _random_mask(n: int, k: int, seed: int, p: float = 0.3) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.random((n, k)) < p
+
+
+class TestPackedPrimitives:
+    @given(
+        n=st.integers(1, 40),
+        k=bit_widths,
+        seed=st.integers(0, 2**31),
+        p=st.sampled_from([0.0, 0.05, 0.5, 1.0]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pack_unpack_round_trip(self, n, k, seed, p):
+        mask = _random_mask(n, k, seed, p)
+        packed = pack_bits(mask)
+        assert packed.dtype == np.uint64
+        assert packed.shape == (n, (k + 63) // 64)
+        assert np.array_equal(unpack_bits(packed, k), mask)
+
+    @given(
+        values=st.lists(
+            st.integers(0, 2**64 - 1), min_size=1, max_size=50
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_popcount_matches_python_bin(self, values):
+        arr = np.array(values, dtype=np.uint64)
+        expected = np.array([bin(v).count("1") for v in values])
+        assert np.array_equal(popcount64(arr), expected)
+
+    def test_popcount_word_boundaries(self):
+        arr = np.array([0, 1, 2**63, 2**64 - 1], dtype=np.uint64)
+        assert popcount64(arr).tolist() == [0, 1, 1, 64]
+        # 2-D input keeps its shape.
+        two_d = popcount64(arr.reshape(2, 2))
+        assert two_d.shape == (2, 2)
+        assert two_d.sum() == 66
+
+    @given(
+        n=st.integers(1, 50),
+        k=bit_widths,
+        seed=st.integers(0, 2**31),
+        gp=st.sampled_from([0.02, 0.1, 0.3]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_packed_spmm_matches_boolean_expansion(self, n, k, seed, gp):
+        csr = erdos_renyi(n, gp, seed=seed).csr()
+        mask = _random_mask(n, k, seed + 1)
+        got = unpack_bits(packed_spmm_or(csr, pack_bits(mask)), k)
+        pattern = csr.to_scipy_pattern()
+        expected = (pattern @ mask.astype(np.float64)) > 0
+        assert np.array_equal(got, expected)
+
+    def test_packed_spmm_isolated_nodes_stay_clear(self):
+        # Empty CSR rows must contribute nothing — the reduceat call is
+        # restricted to nonzero-degree rows precisely because repeated
+        # offsets would otherwise leak a neighbor row into the output.
+        csr = CSRGraph(
+            np.array([0, 1, 2, 2], dtype=np.int64),
+            np.array([1, 0], dtype=np.int32),
+            np.ones(2),
+        )
+        mask = np.array([[True], [True], [True]])
+        out = unpack_bits(packed_spmm_or(csr, pack_bits(mask)), 1)
+        assert out.tolist() == [[True], [True], [False]]
+
+
+class TestPackedKernelEquivalence:
+    @given(
+        n=st.integers(2, 60),
+        seed=st.integers(0, 2**31),
+        gp=st.sampled_from([0.03, 0.1, 0.25]),
+        nsrc=st.integers(1, 70),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_packed_bfs_equals_boolean_bfs(self, n, seed, gp, nsrc):
+        csr = erdos_renyi(n, gp, seed=seed).csr()
+        rng = np.random.default_rng(seed + 7)
+        sources = rng.integers(0, n, size=nsrc)  # duplicates allowed
+        packed = batched_bfs_distances(csr, sources, packed=True)
+        boolean = batched_bfs_distances(csr, sources, packed=False)
+        assert np.array_equal(packed, boolean)
+
+    @given(
+        n=st.integers(2, 50),
+        seed=st.integers(0, 2**31),
+        depth=st.integers(0, 4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_packed_bfs_respects_max_depth(self, n, seed, depth):
+        csr = erdos_renyi(n, 0.1, seed=seed).csr()
+        sources = np.arange(n)
+        packed = batched_bfs_distances(
+            csr, sources, max_depth=depth, packed=True
+        )
+        boolean = batched_bfs_distances(
+            csr, sources, max_depth=depth, packed=False
+        )
+        assert np.array_equal(packed, boolean)
+        assert packed.max() <= depth
+
+    @given(
+        n=st.integers(2, 45),
+        seed=st.integers(0, 2**31),
+        gp=st.sampled_from([0.05, 0.12, 0.3]),
+        chunk=st.sampled_from([None, 1, 7]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_packed_brandes_equals_spmm_brandes(self, n, seed, gp, chunk):
+        csr = erdos_renyi(n, gp, seed=seed).csr()
+        sources = np.arange(n)
+        packed = batched_brandes_dependencies(
+            csr, sources, chunk_size=chunk, packed=True
+        )
+        spmm = batched_brandes_dependencies(
+            csr, sources, chunk_size=chunk, packed=False
+        )
+        # Sigma is exact in both engines; delta accumulation orders
+        # differ, so dependencies agree to float rounding only.
+        assert np.allclose(packed, spmm, rtol=1e-9, atol=1e-12)
+
+
+class TestPackedGate:
+    def test_auto_gate_threshold(self):
+        from repro.graphkit.kernels import _use_packed
+
+        small = erdos_renyi(10, 0.2, seed=1).csr()
+        assert _use_packed(small, None) is False
+        assert _use_packed(small, True) is True
+        assert BITPACK_THRESHOLD == 10_000
+
+    def test_packed_rejects_directed(self):
+        csr = CSRGraph(
+            np.array([0, 1, 1], dtype=np.int64),
+            np.array([1], dtype=np.int32),
+            np.ones(1),
+            directed=True,
+        )
+        with pytest.raises(NotImplementedError):
+            batched_bfs_distances(csr, np.array([0]), packed=True)
+
+    def test_pack_bits_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.zeros(4, dtype=bool))  # 1-D
+        with pytest.raises(ValueError):
+            unpack_bits(np.zeros((2, 1), dtype=np.uint64), 65)  # k > W*64
+
+    def test_packed_spmm_validates_operands(self):
+        csr = erdos_renyi(4, 0.5, seed=0).csr()
+        with pytest.raises(ValueError):
+            packed_spmm_or(csr, np.zeros(4, dtype=np.uint64))  # 1-D
+        with pytest.raises(ValueError):
+            packed_spmm_or(csr, np.zeros((3, 1), dtype=np.uint64))  # rows != n

@@ -3,8 +3,12 @@
 Every hot-path algorithm carries two engines; these tests pin them to each
 other (and transitively to networkx, which the reference engines are
 cross-validated against elsewhere) on canonical fixtures and edge cases.
-The batched shortest-path engines additionally pin three-way (batched vs
-the superseded per-source sweep vs the textbook scalar) and carry a
+The measure configurations come from the shared engine registry
+(``tests/helpers.ENGINE_MATRIX``) — the same table the cross-engine
+matrix harness (``test_kernel_matrix.py``) runs — so a new engine or
+measure joins both suites by editing one table. The batched
+shortest-path engines additionally pin three-way (batched vs the
+superseded per-source sweep vs the textbook scalar) and carry a
 chunking-invariance property: the source-block size can never change a
 result.
 """
@@ -13,14 +17,7 @@ import numpy as np
 import pytest
 
 from repro.graphkit import Graph, core_decomposition
-from repro.graphkit.centrality import (
-    Betweenness,
-    Closeness,
-    DegreeCentrality,
-    HarmonicCloseness,
-    KatzCentrality,
-    PageRank,
-)
+from repro.graphkit.centrality import Betweenness, Closeness
 from repro.graphkit.generators import erdos_renyi
 from repro.graphkit.kernels import (
     batched_brandes_dependencies,
@@ -28,88 +25,61 @@ from repro.graphkit.kernels import (
     batched_weighted_dependencies,
 )
 from repro.graphkit.layout import maxent_stress_layout
-
-SEEDS = [1, 7, 23]
-
-
-def random_weighted(n: int, p: float, seed: int) -> Graph:
-    """Random graph with strictly positive random edge weights."""
-    csr = erdos_renyi(n, p, seed=seed).csr()
-    rng = np.random.default_rng(seed + 1000)
-    edges = csr.edge_array()
-    weights = rng.uniform(0.2, 3.0, size=len(edges))
-    return Graph.from_weighted_edges(
-        n, [(int(u), int(v), float(w)) for (u, v), w in zip(edges, weights)]
-    )
+from tests.helpers import (
+    ENGINE_MATRIX,
+    SEEDS,
+    random_weighted,
+    weighted_disconnected,
+)
 
 
-def weighted_disconnected() -> Graph:
-    """Two weighted components + an isolated node (multigraph-free)."""
-    return Graph.from_weighted_edges(
-        7,
-        [
-            (0, 1, 0.5),
-            (1, 2, 1.5),
-            (0, 2, 1.9),  # near-tie with the 0-1-2 path (length 2.0)
-            (4, 5, 2.5),
-            (5, 6, 0.25),
-        ],
-    )  # node 3 isolated
-
-CENTRALITY_FACTORIES = [
-    pytest.param(lambda g, impl: DegreeCentrality(g, impl=impl), id="degree"),
-    pytest.param(
-        lambda g, impl: DegreeCentrality(g, weighted=True, impl=impl),
-        id="degree-weighted",
-    ),
-    pytest.param(
-        lambda g, impl: Closeness(g, normalized=True, impl=impl), id="closeness"
-    ),
-    pytest.param(
-        lambda g, impl: HarmonicCloseness(g, normalized=False, impl=impl),
-        id="harmonic",
-    ),
-    pytest.param(lambda g, impl: Betweenness(g, impl=impl), id="betweenness"),
-    pytest.param(lambda g, impl: PageRank(g, tol=1e-13, impl=impl), id="pagerank"),
-    pytest.param(
-        lambda g, impl: KatzCentrality(g, method="series", tol=1e-13, impl=impl),
-        id="katz",
-    ),
-]
+def _twin_cases(group: str) -> list:
+    """Registry cases of one group that carry a scalar reference twin."""
+    return [
+        pytest.param(case, id=case.id)
+        for case in ENGINE_MATRIX
+        if case.group == group and "reference" in case.impls
+    ]
 
 
-def both_impls(factory, g):
-    fast = factory(g, "vectorized").run().scores_array()
-    slow = factory(g, "reference").run().scores_array()
-    return fast, slow
+def _case(case_id: str):
+    (case,) = [c for c in ENGINE_MATRIX if c.id == case_id]
+    return case
+
+
+CENTRALITY_FACTORIES = _twin_cases("hop")
+
+
+def both_impls(case, g):
+    return case.run(g, "vectorized"), case.run(g, "reference")
 
 
 class TestCentralityDifferential:
-    @pytest.mark.parametrize("factory", CENTRALITY_FACTORIES)
+    @pytest.mark.parametrize("case", CENTRALITY_FACTORIES)
     @pytest.mark.parametrize("seed", SEEDS)
-    def test_random_graphs(self, factory, seed):
+    def test_random_graphs(self, case, seed):
         g = erdos_renyi(45, 0.1, seed=seed)
-        fast, slow = both_impls(factory, g)
+        fast, slow = both_impls(case, g)
         assert np.allclose(fast, slow, atol=1e-8)
 
-    @pytest.mark.parametrize("factory", CENTRALITY_FACTORIES)
-    def test_karate(self, factory, karate):
-        fast, slow = both_impls(factory, karate)
+    @pytest.mark.parametrize("case", CENTRALITY_FACTORIES)
+    def test_karate(self, case, karate):
+        fast, slow = both_impls(case, karate)
         assert np.allclose(fast, slow, atol=1e-8)
 
-    @pytest.mark.parametrize("factory", CENTRALITY_FACTORIES)
-    def test_disconnected_with_isolated_node(self, factory, disconnected):
-        fast, slow = both_impls(factory, disconnected)
+    @pytest.mark.parametrize("case", CENTRALITY_FACTORIES)
+    def test_disconnected_with_isolated_node(self, case, disconnected):
+        fast, slow = both_impls(case, disconnected)
         assert np.allclose(fast, slow, atol=1e-10)
 
-    @pytest.mark.parametrize("factory", CENTRALITY_FACTORIES)
-    def test_empty_graph(self, factory):
-        fast, slow = both_impls(factory, Graph(0))
+    @pytest.mark.parametrize("case", CENTRALITY_FACTORIES)
+    def test_empty_graph(self, case):
+        fast, slow = both_impls(case, Graph(0))
         assert fast.shape == (0,) and slow.shape == (0,)
 
-    @pytest.mark.parametrize("factory", CENTRALITY_FACTORIES)
-    def test_edgeless_graph(self, factory):
-        fast, slow = both_impls(factory, Graph(4))
+    @pytest.mark.parametrize("case", CENTRALITY_FACTORIES)
+    def test_edgeless_graph(self, case):
+        fast, slow = both_impls(case, Graph(4))
         assert np.allclose(fast, slow)
 
     def test_invalid_impl_rejected(self, triangle):
@@ -132,71 +102,52 @@ class TestCentralityDifferential:
         from repro.rin import build_rin
 
         g = build_rin(a3d_traj.topology, a3d_traj.frame(0), 6.0)
-        for factory in (
-            lambda g, impl: Closeness(g, normalized=True, impl=impl),
-            lambda g, impl: Betweenness(g, normalized=True, impl=impl),
-            lambda g, impl: DegreeCentrality(g, impl=impl),
-        ):
-            fast, slow = both_impls(factory, g)
+        for case_id in ("closeness", "betweenness", "degree"):
+            fast, slow = both_impls(_case(case_id), g)
             assert np.allclose(fast, slow, atol=1e-8)
 
 
-WEIGHTED_FACTORIES = [
-    pytest.param(
-        lambda g, impl: Closeness(g, weighted=True, normalized=True, impl=impl),
-        id="weighted-closeness",
-    ),
-    pytest.param(
-        lambda g, impl: HarmonicCloseness(
-            g, weighted=True, normalized=False, impl=impl
-        ),
-        id="weighted-harmonic",
-    ),
-    pytest.param(
-        lambda g, impl: Betweenness(g, weighted=True, impl=impl),
-        id="weighted-betweenness",
-    ),
-]
+WEIGHTED_FACTORIES = _twin_cases("weighted")
 
 
 class TestWeightedDifferential:
     """Delta-stepping engines vs per-source heap-Dijkstra references."""
 
-    @pytest.mark.parametrize("factory", WEIGHTED_FACTORIES)
+    @pytest.mark.parametrize("case", WEIGHTED_FACTORIES)
     @pytest.mark.parametrize("seed", SEEDS)
-    def test_random_weighted_graphs(self, factory, seed):
+    def test_random_weighted_graphs(self, case, seed):
         g = random_weighted(45, 0.1, seed)
-        fast, slow = both_impls(factory, g)
+        fast, slow = both_impls(case, g)
         assert np.allclose(fast, slow, atol=1e-8)
 
-    @pytest.mark.parametrize("factory", WEIGHTED_FACTORIES)
-    def test_weighted_disconnected(self, factory):
-        fast, slow = both_impls(factory, weighted_disconnected())
+    @pytest.mark.parametrize("case", WEIGHTED_FACTORIES)
+    def test_weighted_disconnected(self, case):
+        fast, slow = both_impls(case, weighted_disconnected())
         assert np.allclose(fast, slow, atol=1e-10)
 
-    @pytest.mark.parametrize("factory", WEIGHTED_FACTORIES)
-    def test_unit_weights_match_hop_engines(self, factory):
+    @pytest.mark.parametrize("case", WEIGHTED_FACTORIES)
+    def test_unit_weights_match_hop_engines(self, case):
         # With all weights 1.0 the weighted engines must agree with each
         # other (and, transitively, with the hop-based measures).
         g = erdos_renyi(30, 0.15, seed=3)
-        fast, slow = both_impls(factory, g)
+        fast, slow = both_impls(case, g)
         assert np.allclose(fast, slow, atol=1e-8)
 
-    @pytest.mark.parametrize("factory", WEIGHTED_FACTORIES)
-    def test_equal_weight_ties(self, factory):
+    @pytest.mark.parametrize("case", WEIGHTED_FACTORIES)
+    def test_equal_weight_ties(self, case):
         # A 6-cycle with equal weights: every antipodal pair has two
         # shortest paths — exercises tie counting in sigma.
         ring = Graph.from_weighted_edges(
             6, [(i, (i + 1) % 6, 0.7) for i in range(6)]
         )
-        fast, slow = both_impls(factory, ring)
+        fast, slow = both_impls(case, ring)
         assert np.allclose(fast, slow, atol=1e-10)
 
-    @pytest.mark.parametrize("factory", WEIGHTED_FACTORIES)
-    def test_empty_and_edgeless(self, factory):
-        fast, slow = both_impls(factory, Graph(0))
+    @pytest.mark.parametrize("case", WEIGHTED_FACTORIES)
+    def test_empty_and_edgeless(self, case):
+        fast, slow = both_impls(case, Graph(0))
         assert fast.shape == (0,) and slow.shape == (0,)
-        fast, slow = both_impls(factory, Graph(4))
+        fast, slow = both_impls(case, Graph(4))
         assert np.allclose(fast, slow)
 
     def test_weighted_path_hand_checked(self):

@@ -293,3 +293,102 @@ class TestCoreNumbers:
 
     def test_isolated_nodes_core_zero(self, disconnected):
         assert core_numbers(disconnected.csr()).tolist() == [1, 1, 0]
+
+
+class TestKernelValidation:
+    """Every batched kernel validates its inputs loudly and identically."""
+
+    def _empty(self):
+        return Graph(0).csr()
+
+    def _path(self):
+        return Graph.from_weighted_edges(
+            3, [(0, 1, 1.0), (1, 2, 2.0)]
+        ).csr()
+
+    def test_empty_source_lists_short_circuit(self):
+        csr = self._path()
+        assert batched_bfs_distances(csr, np.empty(0)).shape == (0, 3)
+        assert batched_delta_stepping_distances(csr, np.empty(0)).shape == (0, 3)
+        assert batched_brandes_dependencies(csr, np.empty(0)).tolist() == [0, 0, 0]
+        assert batched_weighted_dependencies(csr, np.empty(0)).tolist() == [0, 0, 0]
+        from repro.graphkit.kernels import batched_brandes_dependencies_directed
+
+        out = batched_brandes_dependencies_directed(csr, np.empty(0))
+        assert out.tolist() == [0, 0, 0]
+
+    def test_sources_on_empty_graph_rejected(self):
+        from repro.graphkit.kernels import batched_brandes_dependencies_directed
+
+        empty = self._empty()
+        for kernel in (
+            batched_bfs_distances,
+            batched_brandes_dependencies,
+            batched_brandes_dependencies_directed,
+            batched_delta_stepping_distances,
+            batched_weighted_dependencies,
+            multi_source_delta_stepping,
+        ):
+            with pytest.raises(IndexError):
+                kernel(empty, np.asarray([0]))
+
+    def test_out_of_range_sources_rejected(self):
+        from repro.graphkit.kernels import batched_brandes_dependencies_directed
+
+        csr = self._path()
+        for kernel in (
+            batched_bfs_distances,
+            batched_brandes_dependencies,
+            batched_brandes_dependencies_directed,
+            batched_delta_stepping_distances,
+            batched_weighted_dependencies,
+            multi_source_delta_stepping,
+        ):
+            with pytest.raises(IndexError):
+                kernel(csr, np.asarray([3]))
+            with pytest.raises(IndexError):
+                kernel(csr, np.asarray([-1]))
+
+    def test_undirected_brandes_rejects_directed_csr(self):
+        cyc = CSRGraph(
+            np.array([0, 1, 2, 3], dtype=np.int64),
+            np.array([1, 2, 0], dtype=np.int32),
+            np.ones(3),
+            directed=True,
+        )
+        with pytest.raises(NotImplementedError, match="directed"):
+            batched_brandes_dependencies(cyc, np.arange(3))
+        with pytest.raises(NotImplementedError):
+            batched_weighted_dependencies(cyc, np.arange(3))
+
+    def test_bucket_width_validated(self):
+        csr = self._path()
+        with pytest.raises(ValueError, match="delta"):
+            batched_delta_stepping_distances(csr, np.arange(3), delta=0.0)
+
+    def test_negative_weights_rejected_multi_source(self):
+        g = Graph.from_weighted_edges(3, [(0, 1, -1.0), (1, 2, 1.0)])
+        with pytest.raises(ValueError):
+            multi_source_delta_stepping(g.csr(), [0])
+        with pytest.raises(ValueError):
+            batched_delta_stepping_distances(g.csr(), np.arange(3))
+
+    def test_multi_source_requires_a_source(self):
+        with pytest.raises(ValueError):
+            multi_source_delta_stepping(self._path(), [])
+
+    def test_directed_delta_stepping_transposes_in_arcs(self):
+        # Weighted one-way cycle 0 -> 1 -> 2 -> 0: the relaxation pulls
+        # along *in*-arcs, which a directed CSR materializes by a stable
+        # head-sort transpose (_in_arc_view's directed branch).
+        cyc = CSRGraph(
+            np.array([0, 1, 2, 3], dtype=np.int64),
+            np.array([1, 2, 0], dtype=np.int32),
+            np.array([1.0, 2.0, 4.0]),
+            directed=True,
+        )
+        dist = batched_delta_stepping_distances(cyc, np.arange(3))
+        expected = np.array(
+            [[0.0, 1.0, 3.0], [6.0, 0.0, 2.0], [4.0, 5.0, 0.0]]
+        )
+        assert np.allclose(dist, expected)
